@@ -1,0 +1,33 @@
+package sprinklers
+
+import (
+	"sprinklers/internal/bound"
+	"sprinklers/internal/markov"
+)
+
+// Analytical results of Sec. 4 (Table 1) and Sec. 5 (Figure 5), re-exported
+// from the analysis packages.
+
+// OverloadFeasibilityThreshold returns the Theorem 1 constant
+// 2/3 + 1/(3N^2): input loads strictly below it cannot overload any queue of
+// an N-port Sprinklers switch under any rate split.
+var OverloadFeasibilityThreshold = bound.FeasibilityThreshold
+
+// QueueOverloadBound returns the Theorem 2 + Chernoff upper bound on the
+// probability that a single (input, intermediate) queue is overloaded when
+// the input carries total load rho (a Table 1 entry).
+var QueueOverloadBound = bound.QueueOverload
+
+// LogQueueOverloadBound is QueueOverloadBound in the natural-log domain,
+// exact even when the probability underflows float64.
+var LogQueueOverloadBound = bound.LogQueueOverload
+
+// SwitchOverloadBound returns the union bound over all 2N^2 queues of the
+// switch.
+var SwitchOverloadBound = bound.SwitchOverload
+
+// ExpectedIntermediateDelay returns the Sec. 5 closed form
+// rho (N-1) / (2 (1-rho)) for the expected intermediate-stage queue length
+// (equivalently the expected clearance duration, in cycles) under
+// worst-burstiness arrivals — one point of Figure 5.
+var ExpectedIntermediateDelay = markov.MeanQueueClosedForm

@@ -1,0 +1,351 @@
+// Benchmarks that regenerate every table and figure of the paper plus the
+// ablation studies listed in DESIGN.md. Each figure benchmark runs the
+// corresponding simulation at a fixed horizon and reports the figure's
+// y-value (mean packet delay in slots) via ReportMetric, so `go test
+// -bench=.` prints the same series the paper plots:
+//
+//	BenchmarkFig6Uniform/sprinklers/load-0.9    ...  720 delay-slots
+//
+// The full-horizon, full-grid renderers live in cmd/delaycurves, cmd/table1
+// and cmd/fig5; the benchmarks use a reduced horizon so the whole suite
+// completes in minutes.
+package sprinklers_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sprinklers/internal/bound"
+	"sprinklers/internal/core"
+	"sprinklers/internal/dyadic"
+	"sprinklers/internal/experiment"
+	"sprinklers/internal/markov"
+	"sprinklers/internal/pf"
+	"sprinklers/internal/queue"
+	"sprinklers/internal/sim"
+	"sprinklers/internal/stats"
+	"sprinklers/internal/traffic"
+)
+
+const (
+	benchN     = 32
+	benchSlots = 60_000
+)
+
+// benchPoint runs one simulation point and reports the figure metrics.
+func benchPoint(b *testing.B, alg experiment.Algorithm, kind experiment.TrafficKind, load float64) {
+	b.Helper()
+	var last experiment.Point
+	for i := 0; i < b.N; i++ {
+		p, err := experiment.RunPoint(alg, experiment.Config{
+			N: benchN, Traffic: kind, Slots: benchSlots, Seed: 1,
+		}, load)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = p
+	}
+	b.ReportMetric(last.MeanDelay, "delay-slots")
+	b.ReportMetric(last.Throughput, "throughput")
+	b.ReportMetric(float64(last.Reordered), "reordered")
+}
+
+// BenchmarkFig6Uniform regenerates Figure 6: average delay under uniform
+// traffic at N=32 for the five architectures, across the load axis.
+func BenchmarkFig6Uniform(b *testing.B) {
+	for _, alg := range experiment.Fig6Algorithms {
+		for _, load := range []float64{0.1, 0.5, 0.9} {
+			b.Run(fmt.Sprintf("%s/load-%.1f", alg, load), func(b *testing.B) {
+				benchPoint(b, alg, experiment.UniformTraffic, load)
+			})
+		}
+	}
+}
+
+// BenchmarkFig7Diagonal regenerates Figure 7: the same comparison under the
+// diagonal traffic pattern.
+func BenchmarkFig7Diagonal(b *testing.B) {
+	for _, alg := range experiment.Fig6Algorithms {
+		for _, load := range []float64{0.1, 0.5, 0.9} {
+			b.Run(fmt.Sprintf("%s/load-%.1f", alg, load), func(b *testing.B) {
+				benchPoint(b, alg, experiment.DiagonalTraffic, load)
+			})
+		}
+	}
+}
+
+// BenchmarkTable1Bound regenerates Table 1 (all 24 entries) per iteration
+// and reports the N=2048, rho=0.93 entry's log10 as a spot check.
+func BenchmarkTable1Bound(b *testing.B) {
+	var rows []bound.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = bound.Table1(bound.PaperTable1Rhos, bound.PaperTable1Ns)
+	}
+	b.ReportMetric(rows[3].LogPs[1]/2.302585, "log10-p(2048@0.93)")
+}
+
+// BenchmarkFig5Markov regenerates Figure 5: the expected intermediate-stage
+// delay across the switch-size axis, via the exact stationary solve (the
+// closed form is free; the solve is the measured work).
+func BenchmarkFig5Markov(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{64, 256, 1024} {
+			last = markov.MeanQueueNumeric(n, 0.9)
+		}
+	}
+	b.ReportMetric(last, "delay-cycles(N=1024)")
+}
+
+// BenchmarkAblationScheduler compares the order-preserving gated LSF with
+// the literal work-conserving row scan of Sec. 3.4.2 — delay is similar but
+// the greedy variant reorders massively, which is why gating matters.
+func BenchmarkAblationScheduler(b *testing.B) {
+	for _, alg := range []experiment.Algorithm{experiment.Sprinklers, experiment.SprinklersGreedy} {
+		b.Run(string(alg), func(b *testing.B) {
+			benchPoint(b, alg, experiment.UniformTraffic, 0.9)
+		})
+	}
+}
+
+// BenchmarkAblationPFThreshold sweeps the Padded Frames padding threshold,
+// exposing the accumulation-versus-waste tradeoff that motivates the
+// adaptive threshold.
+func BenchmarkAblationPFThreshold(b *testing.B) {
+	run := func(b *testing.B, threshold int, load float64) {
+		m := traffic.Uniform(benchN, load)
+		var mean float64
+		for i := 0; i < b.N; i++ {
+			sw := pf.New(benchN, threshold)
+			src := traffic.NewBernoulli(m, rand.New(rand.NewSource(1)))
+			d := &stats.Delay{}
+			sim.Run(sw, src, sim.RunConfig{Warmup: benchSlots / 5, Slots: benchSlots}, d)
+			mean = d.Mean()
+		}
+		b.ReportMetric(mean, "delay-slots")
+	}
+	for _, threshold := range []int{4, 8, 16, 24} {
+		for _, load := range []float64{0.3, 0.9} {
+			b.Run(fmt.Sprintf("T-%d/load-%.1f", threshold, load), func(b *testing.B) {
+				run(b, threshold, load)
+			})
+		}
+	}
+	for _, load := range []float64{0.3, 0.9} {
+		b.Run(fmt.Sprintf("T-adaptive/load-%.1f", load), func(b *testing.B) {
+			run(b, pf.AdaptiveThreshold, load)
+		})
+	}
+}
+
+// BenchmarkAblationStripeSizing compares the paper's rate-proportional
+// sizing rule against fixed stripe sizes (size 1 = TCP-hashing-like narrow
+// paths; size N = UFS-like full frames) under a heavy-tailed workload where
+// the VOQ rates genuinely differ.
+func BenchmarkAblationStripeSizing(b *testing.B) {
+	m := traffic.Zipf(benchN, 0.9, 1.2)
+	rates := make([][]float64, benchN)
+	for i := range rates {
+		rates[i] = m.Row(i)
+	}
+	run := func(b *testing.B, cfg core.Config) {
+		var mean, tput float64
+		for i := 0; i < b.N; i++ {
+			cfg.Rand = rand.New(rand.NewSource(2))
+			sw := core.MustNew(cfg)
+			src := traffic.NewBernoulli(m, rand.New(rand.NewSource(3)))
+			d := &stats.Delay{}
+			offered, delivered := sim.Run(sw, src,
+				sim.RunConfig{Warmup: benchSlots / 5, Slots: benchSlots}, d)
+			mean = d.Mean()
+			tput = float64(delivered) / float64(offered)
+		}
+		b.ReportMetric(mean, "delay-slots")
+		b.ReportMetric(tput, "throughput")
+	}
+	b.Run("proportional", func(b *testing.B) {
+		run(b, core.Config{N: benchN, Rates: rates})
+	})
+	b.Run("fixed-1", func(b *testing.B) {
+		run(b, core.Config{N: benchN, DefaultStripeSize: 1})
+	})
+	b.Run("fixed-N", func(b *testing.B) {
+		run(b, core.Config{N: benchN, DefaultStripeSize: benchN})
+	})
+}
+
+// BenchmarkAblationPlacement demonstrates why the Orthogonal Latin Square
+// coordination of Sec. 3.3.3 matters: with independent per-input
+// permutations, VOQs destined to one output collide on primary ports and
+// the output side of the switch loses balance. Under diagonal traffic at
+// high load the collision shows up as throughput loss and growing backlog.
+func BenchmarkAblationPlacement(b *testing.B) {
+	m := traffic.Diagonal(benchN, 0.95)
+	rates := make([][]float64, benchN)
+	for i := range rates {
+		rates[i] = m.Row(i)
+	}
+	for _, placement := range []core.Placement{core.PlacementOLS, core.PlacementIndependent} {
+		b.Run(placement.String(), func(b *testing.B) {
+			var tput, backlog float64
+			for i := 0; i < b.N; i++ {
+				sw := core.MustNew(core.Config{
+					N: benchN, Rates: rates,
+					Placement: placement,
+					Rand:      rand.New(rand.NewSource(7)),
+				})
+				src := traffic.NewBernoulli(m, rand.New(rand.NewSource(8)))
+				offered, delivered := sim.Run(sw, src,
+					sim.RunConfig{Warmup: benchSlots / 5, Slots: benchSlots}, nil)
+				tput = float64(delivered) / float64(offered)
+				backlog = float64(sw.Backlog())
+			}
+			b.ReportMetric(tput, "throughput")
+			b.ReportMetric(backlog, "backlog-pkts")
+		})
+	}
+}
+
+// BenchmarkExtensionSizeSweep measures how Sprinklers' delay scales with
+// switch size at fixed load — the extension experiment of DESIGN.md (the
+// paper's simulations fix N=32; Sec. 5 predicts O(N) scaling of the
+// cycle-bound delay components).
+func BenchmarkExtensionSizeSweep(b *testing.B) {
+	for _, n := range []int{16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("N-%d", n), func(b *testing.B) {
+			var last experiment.Point
+			for i := 0; i < b.N; i++ {
+				p, err := experiment.RunPoint(experiment.Sprinklers, experiment.Config{
+					N: n, Traffic: experiment.UniformTraffic, Slots: benchSlots, Seed: 1,
+				}, 0.9)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = p
+			}
+			b.ReportMetric(last.MeanDelay, "delay-slots")
+			b.ReportMetric(last.MeanDelay/float64(n), "delay-per-N")
+		})
+	}
+}
+
+// BenchmarkExtensionBurstiness measures Sprinklers' delay sensitivity to
+// arrival burstiness at fixed load: on/off sources with growing mean burst
+// length versus the paper's Bernoulli process (burst 1). Stripe accumulation
+// actually benefits from bursts (ready queues fill faster) while queueing
+// suffers, so the net effect is an informative extension measurement.
+func BenchmarkExtensionBurstiness(b *testing.B) {
+	m := traffic.Uniform(benchN, 0.8)
+	rates := make([][]float64, benchN)
+	for i := range rates {
+		rates[i] = m.Row(i)
+	}
+	run := func(b *testing.B, burst float64) {
+		var mean float64
+		var reordered int64
+		for i := 0; i < b.N; i++ {
+			sw := core.MustNew(core.Config{N: benchN, Rates: rates,
+				Rand: rand.New(rand.NewSource(9))})
+			var src sim.Source
+			if burst <= 1 {
+				src = traffic.NewBernoulli(m, rand.New(rand.NewSource(10)))
+			} else {
+				src = traffic.NewOnOff(m, burst, rand.New(rand.NewSource(10)))
+			}
+			d := &stats.Delay{}
+			r := stats.NewReorder(benchN)
+			sim.Run(sw, src, sim.RunConfig{Warmup: benchSlots / 5, Slots: benchSlots},
+				stats.Multi{d, r})
+			mean = d.Mean()
+			reordered = r.Reordered()
+		}
+		b.ReportMetric(mean, "delay-slots")
+		b.ReportMetric(float64(reordered), "reordered")
+	}
+	for _, burst := range []float64{1, 8, 32} {
+		b.Run(fmt.Sprintf("burst-%.0f", burst), func(b *testing.B) { run(b, burst) })
+	}
+}
+
+// BenchmarkSwitchStep measures raw simulation speed: slots per second for
+// each architecture at N=32, load 0.9 (the cost of one Step includes both
+// fabrics and all ports).
+func BenchmarkSwitchStep(b *testing.B) {
+	for _, alg := range experiment.AllAlgorithms {
+		b.Run(string(alg), func(b *testing.B) {
+			m := traffic.Uniform(benchN, 0.9)
+			sw, err := experiment.NewSwitch(alg, m, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := traffic.NewBernoulli(m, rand.New(rand.NewSource(1)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src.Next(sw.Now(), sw.Arrive)
+				sw.Step(nil)
+			}
+		})
+	}
+}
+
+// BenchmarkLargeSwitchStep checks that a 1024-port Sprinklers switch still
+// steps fast (scalability of the constant-time per-port algorithms).
+func BenchmarkLargeSwitchStep(b *testing.B) {
+	const n = 1024
+	m := traffic.Uniform(n, 0.9)
+	sw, err := experiment.NewSwitch(experiment.Sprinklers, m, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := traffic.NewBernoulli(m, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Next(sw.Now(), sw.Arrive)
+		sw.Step(nil)
+	}
+}
+
+// BenchmarkStripeSizing measures the sizing rule itself.
+func BenchmarkStripeSizing(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	rates := make([]float64, 1024)
+	for i := range rates {
+		rates[i] = rng.Float64() / 32
+	}
+	b.ResetTimer()
+	var acc int
+	for i := 0; i < b.N; i++ {
+		acc += dyadic.StripeSize(rates[i%len(rates)], 4096)
+	}
+	_ = acc
+}
+
+// BenchmarkBoundEval measures one Table 1 entry evaluation.
+func BenchmarkBoundEval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bound.LogQueueOverload(2048, 0.93)
+	}
+}
+
+// BenchmarkFIFO measures the core queue primitive.
+func BenchmarkFIFO(b *testing.B) {
+	var q queue.FIFO[sim.Packet]
+	for i := 0; i < b.N; i++ {
+		q.Push(sim.Packet{ID: uint64(i)})
+		if q.Len() > 64 {
+			q.Pop()
+		}
+	}
+}
+
+// BenchmarkBernoulliSource measures arrival generation at N=1024.
+func BenchmarkBernoulliSource(b *testing.B) {
+	m := traffic.Uniform(1024, 0.9)
+	src := traffic.NewBernoulli(m, rand.New(rand.NewSource(5)))
+	sink := func(sim.Packet) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Next(sim.Slot(i), sink)
+	}
+}

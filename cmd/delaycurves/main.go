@@ -1,0 +1,94 @@
+// Command delaycurves regenerates the simulation figures of the paper:
+// average packet delay versus input load for the five switch architectures
+// of Sec. 6 (baseline load-balanced, UFS, FOFF, PF, Sprinklers) under a
+// chosen traffic pattern. Figure 6 is -traffic uniform, Figure 7 is
+// -traffic diagonal.
+//
+// Usage:
+//
+//	delaycurves [-traffic uniform|diagonal|hotspot|zipf|permutation]
+//	            [-n 32] [-slots 1000000] [-seed 1]
+//	            [-loads 0.1,...,0.98] [-algs all|csv] [-detail]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sprinklers/internal/experiment"
+	"sprinklers/internal/sim"
+)
+
+func main() {
+	trafficKind := flag.String("traffic", "uniform", "traffic pattern: uniform, diagonal, hotspot, zipf, permutation")
+	n := flag.Int("n", 32, "switch size (power of two)")
+	slots := flag.Int64("slots", 1_000_000, "measured slots per point")
+	seed := flag.Int64("seed", 1, "random seed")
+	loadsFlag := flag.String("loads", "", "comma-separated loads (default: the paper's grid)")
+	algsFlag := flag.String("algs", "", "comma-separated algorithms (default: the paper's five)")
+	detail := flag.Bool("detail", false, "print per-point detail (throughput, tails, reordering)")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of the text table")
+	flag.Parse()
+
+	loads := experiment.PaperLoads
+	if *loadsFlag != "" {
+		var err error
+		loads, err = parseFloats(*loadsFlag)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	algs := experiment.Fig6Algorithms
+	if *algsFlag != "" && *algsFlag != "all" {
+		algs = nil
+		for _, a := range strings.Split(*algsFlag, ",") {
+			algs = append(algs, experiment.Algorithm(strings.TrimSpace(a)))
+		}
+	} else if *algsFlag == "all" {
+		algs = experiment.AllAlgorithms
+	}
+
+	points, err := experiment.Sweep(algs, experiment.Config{
+		N:       *n,
+		Traffic: experiment.TrafficKind(*trafficKind),
+		Loads:   loads,
+		Slots:   sim.Slot(*slots),
+		Seed:    *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *csvOut {
+		if err := experiment.RenderCSV(os.Stdout, points); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("Average delay (slots) vs load, N=%d, %s traffic, %d measured slots/point\n\n",
+		*n, *trafficKind, *slots)
+	experiment.RenderCurves(os.Stdout, points)
+	if *detail {
+		fmt.Println()
+		experiment.RenderDetail(os.Stdout, points)
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "delaycurves:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Command fig5 regenerates Figure 5 of the paper: the expected
+// intermediate-stage queue length (equivalently, the expected clearance
+// delay in cycles) as a function of switch size under worst-burstiness
+// Bernoulli batch arrivals at load rho.
+//
+// Usage:
+//
+//	fig5 [-rho 0.9] [-ns 8,...,1024] [-verify]
+//
+// With -verify, each closed-form point is cross-checked against the exact
+// truncated stationary solve and a Monte-Carlo simulation of the chain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"sprinklers/internal/markov"
+)
+
+func main() {
+	rho := flag.Float64("rho", 0.9, "input load (0, 1)")
+	nsFlag := flag.String("ns", "8,16,32,64,128,256,512,768,1024", "comma-separated switch sizes")
+	verify := flag.Bool("verify", false, "cross-check against numeric solve and simulation")
+	cycles := flag.Int64("cycles", 2_000_000, "Monte-Carlo cycles per point when verifying")
+	flag.Parse()
+
+	ns, err := parseInts(*nsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig5:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Figure 5: expected intermediate-stage delay (cycles) at rho=%.2f\n", *rho)
+	if *verify {
+		fmt.Printf("%8s %14s %14s %14s\n", "N", "closed-form", "stationary", "monte-carlo")
+	} else {
+		fmt.Printf("%8s %14s\n", "N", "delay/periods")
+	}
+	for _, n := range ns {
+		cf := markov.MeanQueueClosedForm(n, *rho)
+		if !*verify {
+			fmt.Printf("%8d %14.1f\n", n, cf)
+			continue
+		}
+		num := markov.MeanQueueNumeric(n, *rho)
+		mc := markov.SimulateMeanQueue(n, *rho, *cycles, rand.New(rand.NewSource(int64(n))))
+		fmt.Printf("%8d %14.1f %14.1f %14.1f\n", n, cf, num, mc)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

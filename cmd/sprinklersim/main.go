@@ -1,0 +1,98 @@
+// Command sprinklersim runs a single switch simulation with full control
+// over the architecture, traffic pattern, load, burstiness and horizon, and
+// reports delay, throughput and reordering statistics. It is the
+// general-purpose driver; the table1 / fig5 / delaycurves commands wrap the
+// specific experiments of the paper.
+//
+// Usage:
+//
+//	sprinklersim -alg sprinklers -traffic uniform -n 32 -load 0.9 \
+//	             -slots 1000000 [-burst 16] [-seed 1] [-scheduler gated|greedy]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"sprinklers/internal/core"
+	"sprinklers/internal/experiment"
+	"sprinklers/internal/sim"
+	"sprinklers/internal/stats"
+	"sprinklers/internal/traffic"
+)
+
+func main() {
+	alg := flag.String("alg", "sprinklers", "architecture: load-balanced, ufs, foff, pf, sprinklers, sprinklers-greedy, tcp-hashing")
+	trafficKind := flag.String("traffic", "uniform", "traffic pattern: uniform, diagonal, hotspot, zipf, permutation")
+	n := flag.Int("n", 32, "switch size (power of two)")
+	load := flag.Float64("load", 0.9, "per-input load in (0, 1)")
+	slots := flag.Int64("slots", 1_000_000, "measured slots")
+	warmup := flag.Int64("warmup", 0, "warmup slots (default slots/5)")
+	seed := flag.Int64("seed", 1, "random seed")
+	burst := flag.Float64("burst", 0, "mean on/off burst length; 0 = Bernoulli arrivals as in the paper")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	m, err := experiment.Pattern(experiment.TrafficKind(*trafficKind), *n, *load, rng)
+	if err != nil {
+		fatal(err)
+	}
+	sw, err := experiment.NewSwitch(experiment.Algorithm(*alg), m, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	var src sim.Source
+	if *burst > 0 {
+		src = traffic.NewOnOff(m, *burst, rand.New(rand.NewSource(*seed+1)))
+	} else {
+		src = traffic.NewBernoulli(m, rand.New(rand.NewSource(*seed+1)))
+	}
+
+	delay := &stats.Delay{}
+	reorder := stats.NewReorder(*n)
+	w := sim.Slot(*warmup)
+	if w == 0 {
+		w = sim.Slot(*slots) / 5
+	}
+	offered, delivered := sim.Run(sw, src,
+		sim.RunConfig{Warmup: w, Slots: sim.Slot(*slots)},
+		stats.Multi{delay, reorder})
+
+	fmt.Printf("architecture : %s\n", *alg)
+	fmt.Printf("traffic      : %s, N=%d, load=%.3f", *trafficKind, *n, *load)
+	if *burst > 0 {
+		fmt.Printf(", bursty (mean burst %.0f)", *burst)
+	}
+	fmt.Println()
+	fmt.Printf("horizon      : %d measured slots (+%d warmup)\n", *slots, w)
+	fmt.Printf("offered      : %d packets\n", offered)
+	fmt.Printf("delivered    : %d packets (throughput %.4f)\n", delivered,
+		float64(delivered)/float64(max64(offered, 1)))
+	fmt.Printf("backlog      : %d packets left in switch\n", sw.Backlog())
+	fmt.Printf("delay        : mean %.1f  p50 %d  p99 %d  max %d slots\n",
+		delay.Mean(), delay.Percentile(50), delay.Percentile(99), delay.Max())
+	fmt.Printf("reordered    : %d packets (%.5f%%), max seq gap %d\n",
+		reorder.Reordered(), 100*reorder.Fraction(), reorder.MaxGap())
+	if cs, ok := sw.(*core.Switch); ok {
+		b := cs.DelayBreakdown()
+		fmt.Printf("breakdown    : accumulation %.1f + transit %.1f slots (stripe fill vs switch)\n",
+			b.Accumulation, b.Transit)
+		if cs.Resizes() > 0 {
+			fmt.Printf("resizes      : %d stripe-size changes\n", cs.Resizes())
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sprinklersim:", err)
+	os.Exit(1)
+}

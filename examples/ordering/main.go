@@ -1,0 +1,46 @@
+// Ordering: demonstrate the packet reordering problem that motivates the
+// paper. The baseline load-balanced switch spreads consecutive packets of a
+// flow across all intermediate ports and delivers badly out of order — the
+// behaviour that triggers spurious TCP fast retransmits — while the
+// Sprinklers switch, at essentially the same architecture cost, delivers
+// every flow perfectly in order.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sprinklers"
+	"sprinklers/internal/baseline"
+	"sprinklers/internal/stats"
+)
+
+func main() {
+	const (
+		n     = 32
+		load  = 0.85
+		slots = 300_000
+		seed  = 7
+	)
+	m := sprinklers.Diagonal(n, load)
+
+	run := func(name string, sw sprinklers.Switch) {
+		src := sprinklers.NewBernoulli(m, rand.New(rand.NewSource(seed)))
+		delay := &sprinklers.DelayStats{}
+		reorder := stats.NewReorder(n)
+		sprinklers.Run(sw, src,
+			sprinklers.RunConfig{Warmup: slots / 5, Slots: slots},
+			stats.Multi{delay, reorder})
+		fmt.Printf("%-14s mean delay %7.1f   reordered %8d / %8d (%.2f%%)   max seq gap %d\n",
+			name, delay.Mean(), reorder.Reordered(), reorder.Total(),
+			100*reorder.Fraction(), reorder.MaxGap())
+	}
+
+	fmt.Printf("diagonal traffic, N=%d, load %.2f, %d measured slots\n\n", n, load, slots)
+	run("load-balanced", baseline.New(n))
+	run("sprinklers", sprinklers.MustNew(sprinklers.ConfigFromMatrix(m, seed)))
+
+	fmt.Println("\nThe baseline reorders a large share of every flow; a TCP sender would")
+	fmt.Println("misread each sequence gap as loss. Sprinklers pins each VOQ to one dyadic")
+	fmt.Println("stripe interval and serves stripes atomically, so gaps never occur.")
+}

@@ -1,0 +1,82 @@
+// Package baseline implements the baseline load-balanced Birkhoff–von
+// Neumann switch of Chang et al. (Sec. 2 / [2] in the paper): each input
+// keeps a single FIFO and forwards its head-of-line packet to whichever
+// intermediate port the first fabric currently connects it to; each
+// intermediate port keeps one VOQ per output and forwards when the second
+// fabric connects it to that output.
+//
+// The baseline achieves 100% throughput for admissible traffic and provides
+// the delay lower bound among load-balanced switches, but it does not
+// preserve packet order — consecutive packets of one flow take different
+// paths with different queueing delays. The test suite demonstrates the
+// reordering; the Sprinklers switch in internal/core eliminates it.
+package baseline
+
+import (
+	"sprinklers/internal/queue"
+	"sprinklers/internal/sim"
+)
+
+// Switch is a baseline load-balanced switch. Create one with New.
+type Switch struct {
+	n       int
+	t       sim.Slot
+	inputs  []queue.FIFO[sim.Packet]
+	mid     [][]queue.FIFO[sim.Packet] // mid[l][j]: packets at intermediate l for output j
+	backlog int
+}
+
+// New builds an n-port baseline load-balanced switch.
+func New(n int) *Switch {
+	s := &Switch{
+		n:      n,
+		inputs: make([]queue.FIFO[sim.Packet], n),
+		mid:    make([][]queue.FIFO[sim.Packet], n),
+	}
+	for l := range s.mid {
+		s.mid[l] = make([]queue.FIFO[sim.Packet], n)
+	}
+	return s
+}
+
+// N implements sim.Switch.
+func (s *Switch) N() int { return s.n }
+
+// Now implements sim.Switch.
+func (s *Switch) Now() sim.Slot { return s.t }
+
+// Backlog implements sim.Switch.
+func (s *Switch) Backlog() int { return s.backlog }
+
+// Arrive implements sim.Switch.
+func (s *Switch) Arrive(p sim.Packet) {
+	s.inputs[p.In].Push(p)
+	s.backlog++
+}
+
+// Step implements sim.Switch: it executes one slot of both fabrics. The
+// second stage runs before the first so a packet spends at least one full
+// slot at an intermediate port.
+func (s *Switch) Step(deliver sim.DeliverFunc) {
+	t := s.t
+	// Second fabric: intermediate l -> output SecondStage(l, t).
+	for l := 0; l < s.n; l++ {
+		j := sim.SecondStage(l, t, s.n)
+		if q := &s.mid[l][j]; !q.Empty() {
+			p := q.Pop()
+			s.backlog--
+			if deliver != nil {
+				deliver(sim.Delivery{Packet: p, Depart: t})
+			}
+		}
+	}
+	// First fabric: input i -> intermediate FirstStage(i, t).
+	for i := 0; i < s.n; i++ {
+		if q := &s.inputs[i]; !q.Empty() {
+			p := q.Pop()
+			l := sim.FirstStage(i, t, s.n)
+			s.mid[l][p.Out].Push(p)
+		}
+	}
+	s.t++
+}

@@ -1,0 +1,25 @@
+package bound_test
+
+import (
+	"fmt"
+
+	"sprinklers/internal/bound"
+)
+
+// ExampleQueueOverload evaluates one entry of the paper's Table 1: a
+// 2048-port switch at 93% input load.
+func ExampleQueueOverload() {
+	fmt.Printf("%.2e\n", bound.QueueOverload(2048, 0.93))
+	// Output:
+	// 3.09e-18
+}
+
+// ExampleFeasibilityThreshold shows Theorem 1's deterministic regime: below
+// 2/3 + 1/(3N^2) the overload probability is not just small, it is zero.
+func ExampleFeasibilityThreshold() {
+	n := 1024
+	fmt.Printf("threshold %.4f, P(overload at 0.60) = %v\n",
+		bound.FeasibilityThreshold(n), bound.QueueOverload(n, 0.60))
+	// Output:
+	// threshold 0.6667, P(overload at 0.60) = 0
+}

@@ -1,0 +1,26 @@
+package cms_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sprinklers/internal/cms"
+	"sprinklers/internal/sim"
+	"sprinklers/internal/stats"
+	"sprinklers/internal/traffic"
+)
+
+// Example runs the Concurrent Matching Switch under the paper's diagonal
+// workload and confirms its defining property: reordering-free delivery
+// without striping, via frame-pipelined distributed matching.
+func Example() {
+	const n = 16
+	m := traffic.Diagonal(n, 0.8)
+	sw := cms.New(n)
+	src := traffic.NewBernoulli(m, rand.New(rand.NewSource(3)))
+	reorder := stats.NewReorder(n)
+	sim.Run(sw, src, sim.RunConfig{Warmup: 5_000, Slots: 40_000}, reorder)
+	fmt.Println("reordered:", reorder.Reordered())
+	// Output:
+	// reordered: 0
+}

@@ -1,0 +1,117 @@
+// Package conformance provides a wrapper that checks any sim.Switch against
+// the physical constraints of the two-stage load-balanced switch model
+// while a simulation runs:
+//
+//   - at most one packet departs per output port per slot (the second
+//     fabric's speed);
+//   - at most N departures per slot in total;
+//   - departures are stamped with the current slot;
+//   - every delivered packet was previously offered via Arrive, and is
+//     delivered exactly once;
+//   - the backlog reported by the switch equals offered minus delivered.
+//
+// Violating any of these means a switch implementation is cheating the
+// model (e.g. teleporting packets or exceeding fabric speed), which would
+// invalidate every delay comparison. The integration tests wrap all seven
+// architectures in a Checker.
+package conformance
+
+import (
+	"fmt"
+
+	"sprinklers/internal/sim"
+)
+
+// Checker wraps a switch and validates the fabric model on every Step. It
+// implements sim.Switch itself, so it drops into any harness.
+type Checker struct {
+	inner sim.Switch
+
+	offered   int64
+	delivered int64
+	inFlight  map[uint64]bool // IDs inside the switch (real packets only)
+	violation string
+}
+
+// Wrap builds a Checker around sw.
+func Wrap(sw sim.Switch) *Checker {
+	return &Checker{inner: sw, inFlight: make(map[uint64]bool)}
+}
+
+// Violation returns a description of the first detected violation, or "".
+func (c *Checker) Violation() string { return c.violation }
+
+// Offered returns the number of real packets offered so far.
+func (c *Checker) Offered() int64 { return c.offered }
+
+// Delivered returns the number of real packets delivered so far.
+func (c *Checker) Delivered() int64 { return c.delivered }
+
+func (c *Checker) fail(format string, args ...any) {
+	if c.violation == "" {
+		c.violation = fmt.Sprintf(format, args...)
+	}
+}
+
+// N implements sim.Switch.
+func (c *Checker) N() int { return c.inner.N() }
+
+// Now implements sim.Switch.
+func (c *Checker) Now() sim.Slot { return c.inner.Now() }
+
+// Backlog implements sim.Switch.
+func (c *Checker) Backlog() int { return c.inner.Backlog() }
+
+// Arrive implements sim.Switch.
+func (c *Checker) Arrive(p sim.Packet) {
+	if !p.Fake {
+		if c.inFlight[p.ID] {
+			c.fail("packet %d offered twice", p.ID)
+		}
+		c.inFlight[p.ID] = true
+		c.offered++
+	}
+	if p.Arrival != c.inner.Now() {
+		c.fail("packet %d arrives stamped %d at slot %d", p.ID, p.Arrival, c.inner.Now())
+	}
+	c.inner.Arrive(p)
+}
+
+// Step implements sim.Switch, validating every delivery of the slot.
+func (c *Checker) Step(deliver sim.DeliverFunc) {
+	now := c.inner.Now()
+	n := c.inner.N()
+	outputsUsed := make(map[int]bool, 4)
+	count := 0
+	c.inner.Step(func(d sim.Delivery) {
+		count++
+		if count > n {
+			c.fail("slot %d: %d departures exceed N=%d", now, count, n)
+		}
+		if d.Depart != now {
+			c.fail("slot %d: departure stamped %d", now, d.Depart)
+		}
+		if outputsUsed[d.Packet.Out] {
+			c.fail("slot %d: output %d used twice", now, d.Packet.Out)
+		}
+		outputsUsed[d.Packet.Out] = true
+		if d.Packet.Fake {
+			c.fail("slot %d: fake packet delivered", now)
+		} else {
+			if !c.inFlight[d.Packet.ID] {
+				c.fail("slot %d: packet %d delivered but never offered (or twice)", now, d.Packet.ID)
+			}
+			delete(c.inFlight, d.Packet.ID)
+			c.delivered++
+		}
+		if deliver != nil {
+			deliver(d)
+		}
+	})
+	// The switch's own backlog accounting must match ours. Switches that
+	// hold packets in resequencers count them as backlog, so the check
+	// is for equality against offered-delivered.
+	if got, want := int64(c.inner.Backlog()), c.offered-c.delivered; got != want {
+		c.fail("slot %d: backlog %d, offered-delivered %d", now, got, want)
+	}
+}

@@ -1,0 +1,124 @@
+package conformance
+
+import (
+	"testing"
+
+	"sprinklers/internal/sim"
+)
+
+// okSwitch is a minimal conforming switch: everything arrives at one input
+// and departs one slot later through its output.
+type okSwitch struct {
+	n       int
+	t       sim.Slot
+	pending []sim.Packet
+}
+
+func (s *okSwitch) N() int        { return s.n }
+func (s *okSwitch) Now() sim.Slot { return s.t }
+func (s *okSwitch) Backlog() int  { return len(s.pending) }
+func (s *okSwitch) Arrive(p sim.Packet) {
+	s.pending = append(s.pending, p)
+}
+func (s *okSwitch) Step(deliver sim.DeliverFunc) {
+	used := map[int]bool{}
+	var rest []sim.Packet
+	for _, p := range s.pending {
+		if !used[p.Out] && p.Arrival < s.t {
+			used[p.Out] = true
+			if deliver != nil {
+				deliver(sim.Delivery{Packet: p, Depart: s.t})
+			}
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	s.pending = rest
+	s.t++
+}
+
+func feed(c *Checker, n int) {
+	for k := 0; k < n; k++ {
+		c.Arrive(sim.Packet{ID: uint64(k), In: 0, Out: k % c.N(), Arrival: c.Now()})
+		c.Step(nil)
+	}
+	for k := 0; k < 2*c.N(); k++ {
+		c.Step(nil)
+	}
+}
+
+func TestCleanSwitchPasses(t *testing.T) {
+	c := Wrap(&okSwitch{n: 4})
+	feed(c, 10)
+	if v := c.Violation(); v != "" {
+		t.Fatalf("clean switch flagged: %s", v)
+	}
+	if c.Offered() != 10 || c.Delivered() != 10 {
+		t.Fatalf("accounting: offered %d delivered %d", c.Offered(), c.Delivered())
+	}
+}
+
+// cheat wraps okSwitch and injects a specific violation.
+type cheat struct {
+	*okSwitch
+	mode string
+}
+
+func (s *cheat) Step(deliver sim.DeliverFunc) {
+	switch s.mode {
+	case "duplicate-output":
+		t := s.t
+		if len(s.pending) > 0 {
+			p := s.pending[0]
+			deliver(sim.Delivery{Packet: p, Depart: t})
+			deliver(sim.Delivery{Packet: p, Depart: t})
+			s.pending = s.pending[1:]
+		}
+		s.t++
+	case "wrong-slot":
+		if len(s.pending) > 0 {
+			p := s.pending[0]
+			s.pending = s.pending[1:]
+			deliver(sim.Delivery{Packet: p, Depart: s.t + 5})
+		}
+		s.t++
+	case "phantom":
+		deliver(sim.Delivery{Packet: sim.Packet{ID: 999, Out: 1}, Depart: s.t})
+		s.t++
+	case "fake-escape":
+		deliver(sim.Delivery{Packet: sim.Packet{ID: 998, Out: 2, Fake: true}, Depart: s.t})
+		s.t++
+	default:
+		s.okSwitch.Step(deliver)
+	}
+}
+
+func TestViolationsDetected(t *testing.T) {
+	for _, mode := range []string{"duplicate-output", "wrong-slot", "phantom", "fake-escape"} {
+		c := Wrap(&cheat{okSwitch: &okSwitch{n: 4}, mode: mode})
+		c.Arrive(sim.Packet{ID: 1, In: 0, Out: 0, Arrival: 0})
+		for k := 0; k < 4; k++ {
+			c.Step(nil)
+		}
+		if c.Violation() == "" {
+			t.Errorf("mode %q not detected", mode)
+		}
+	}
+}
+
+func TestDoubleOfferDetected(t *testing.T) {
+	c := Wrap(&okSwitch{n: 4})
+	c.Arrive(sim.Packet{ID: 7, Out: 0, Arrival: 0})
+	c.Arrive(sim.Packet{ID: 7, Out: 1, Arrival: 0})
+	if c.Violation() == "" {
+		t.Fatal("double offer not detected")
+	}
+}
+
+func TestArrivalStampChecked(t *testing.T) {
+	c := Wrap(&okSwitch{n: 4})
+	c.Arrive(sim.Packet{ID: 1, Out: 0, Arrival: 5}) // switch is at slot 0
+	if c.Violation() == "" {
+		t.Fatal("bad arrival stamp not detected")
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sprinklers/internal/dyadic"
+	"sprinklers/internal/traffic"
+)
+
+func adaptiveSwitch(t *testing.T, n int, window int) *Switch {
+	t.Helper()
+	return MustNew(Config{
+		N:    n,
+		Rand: rand.New(rand.NewSource(81)),
+		Adaptive: &AdaptiveConfig{
+			Window:      int64ToSlot(window),
+			HoldWindows: 2,
+		},
+	})
+}
+
+// TestAdaptiveGrowsHotVOQ: a VOQ whose measured rate warrants a larger
+// stripe must be resized upward, to exactly F(r).
+func TestAdaptiveGrowsHotVOQ(t *testing.T) {
+	const n = 16
+	sw := adaptiveSwitch(t, n, 1024)
+	m := traffic.NewMatrix(singleFlow(n, 2, 9, 0.5))
+	src := traffic.NewBernoulli(m, rand.New(rand.NewSource(82)))
+	for tt := 0; tt < 40000; tt++ {
+		src.Next(int64ToSlot(tt), sw.Arrive)
+		sw.Step(nil)
+	}
+	want := dyadic.StripeSize(0.5, n)
+	if got := sw.StripeSizeOf(2, 9); got != want {
+		t.Fatalf("hot VOQ stripe size %d, want %d (est rate %v)", got, want, sw.EstimatedRate(2, 9))
+	}
+	if sw.Resizes() == 0 {
+		t.Fatal("no resizes recorded")
+	}
+	// Cold VOQs must stay at size 1.
+	if got := sw.StripeSizeOf(2, 3); got != 1 {
+		t.Fatalf("cold VOQ resized to %d", got)
+	}
+}
+
+// TestAdaptiveShrinksAfterCooldown: when the hot flow stops, the stripe
+// must come back down.
+func TestAdaptiveShrinksAfterCooldown(t *testing.T) {
+	const n = 16
+	sw := adaptiveSwitch(t, n, 1024)
+	hot := traffic.NewMatrix(singleFlow(n, 0, 1, 0.6))
+	src := traffic.NewPhased(n, rand.New(rand.NewSource(83))).
+		AddPhase(hot, 40000).
+		AddPhase(traffic.Uniform(n, 0.01), 80000)
+	for tt := 0; tt < 120000; tt++ {
+		src.Next(int64ToSlot(tt), sw.Arrive)
+		sw.Step(nil)
+	}
+	if got := sw.StripeSizeOf(0, 1); got > 2 {
+		t.Fatalf("stripe size %d did not shrink after cooldown (est rate %v)",
+			got, sw.EstimatedRate(0, 1))
+	}
+}
+
+// TestAdaptiveOrderAcrossResizes: the clearance phase must keep every flow
+// in order through repeated stripe-size changes.
+func TestAdaptiveOrderAcrossResizes(t *testing.T) {
+	const n = 16
+	sw := adaptiveSwitch(t, n, 512)
+	src := traffic.NewPhased(n, rand.New(rand.NewSource(84))).
+		AddPhase(traffic.Uniform(n, 0.2), 30000).
+		AddPhase(traffic.Diagonal(n, 0.85), 30000).
+		AddPhase(traffic.Uniform(n, 0.1), 30000).
+		AddPhase(traffic.Zipf(n, 0.7, 1.2), 30000)
+	maxSeen := map[[2]int]int64{}
+	reordered := 0
+	for tt := 0; tt < 120000; tt++ {
+		src.Next(int64ToSlot(tt), sw.Arrive)
+		sw.Step(func(d delivery) {
+			k := [2]int{d.Packet.In, d.Packet.Out}
+			prev, ok := maxSeen[k]
+			if ok && int64(d.Packet.Seq) < prev {
+				reordered++
+				return
+			}
+			maxSeen[k] = int64(d.Packet.Seq)
+		})
+	}
+	if reordered != 0 {
+		t.Fatalf("%d packets reordered across adaptive resizes", reordered)
+	}
+	if sw.Resizes() < 10 {
+		t.Fatalf("only %d resizes happened; the workload shifts should force many", sw.Resizes())
+	}
+}
+
+// TestClearancePhaseSuspendsFormation: during draining, ready packets
+// accumulate beyond the old stripe size rather than being committed.
+func TestClearancePhaseSuspendsFormation(t *testing.T) {
+	const n = 8
+	sw := MustNew(Config{N: 8, Rand: rand.New(rand.NewSource(85))})
+	v := sw.inputs[0].voqs[3]
+	v.draining = true
+	v.pending = 4
+	for k := 0; k < 6; k++ {
+		sw.Arrive(packet{In: 0, Out: 3, Seq: uint64(k)})
+	}
+	if v.committed != 0 {
+		t.Fatalf("committed %d during drain", v.committed)
+	}
+	if len(v.ready) != 6 {
+		t.Fatalf("ready %d, want 6", len(v.ready))
+	}
+	// Completing the clearance must adopt the pending size and form the
+	// one full stripe that fits.
+	sw.maybeFinishResize(sw.inputs[0], v)
+	if v.size != 4 || v.draining {
+		t.Fatalf("resize not finalized: size=%d draining=%v", v.size, v.draining)
+	}
+	if v.committed != 4 || len(v.ready) != 2 {
+		t.Fatalf("after resize: committed=%d ready=%d, want 4 and 2", v.committed, len(v.ready))
+	}
+}
+
+// TestAdaptiveDefaults: zero-valued knobs must become documented defaults.
+func TestAdaptiveDefaults(t *testing.T) {
+	cfg := AdaptiveConfig{}.withDefaults(32)
+	if cfg.Window != int64ToSlot(4*32*32) || cfg.Gamma != 0.3 || cfg.HoldWindows != 2 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+}
+
+// TestEstimatedRateWithoutAdaptation falls back to the configured matrix.
+func TestEstimatedRateWithoutAdaptation(t *testing.T) {
+	m := traffic.Uniform(8, 0.4)
+	sw := newSwitch(t, 8, m, GatedLSF, 86)
+	if got := sw.EstimatedRate(1, 2); got != 0.05 {
+		t.Fatalf("EstimatedRate = %v, want 0.05", got)
+	}
+	if MustNew(Config{N: 8}).EstimatedRate(0, 0) != 0 {
+		t.Fatal("no-rates switch should estimate 0")
+	}
+}
+
+// singleFlow builds a rate matrix with one nonzero entry.
+func singleFlow(n, i, j int, r float64) [][]float64 {
+	rates := make([][]float64, n)
+	for k := range rates {
+		rates[k] = make([]float64, n)
+	}
+	rates[i][j] = r
+	return rates
+}

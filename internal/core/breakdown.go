@@ -1,0 +1,49 @@
+package core
+
+import "sprinklers/internal/sim"
+
+// DelayBreakdown decomposes the mean packet delay of a Sprinklers switch
+// into its two regimes:
+//
+//   - Accumulation: arrival until the packet's stripe is complete. This is
+//     the component the paper's rate-proportional sizing (Eq. 1) targets —
+//     a VOQ of rate r waits about (F(r)-1)/(2r) slots here, so halving the
+//     stripe size halves the wait.
+//   - Transit: stripe completion until output departure — LSF queueing at
+//     the input, the first fabric, the intermediate stage, and the second
+//     fabric.
+type DelayBreakdown struct {
+	Count        int64
+	Accumulation float64 // mean slots spent waiting for the stripe to fill
+	Transit      float64 // mean slots from stripe completion to departure
+}
+
+// Mean returns the overall mean delay (Accumulation + Transit).
+func (b DelayBreakdown) Mean() float64 { return b.Accumulation + b.Transit }
+
+// breakdown accumulates the decomposition inside the switch.
+type breakdown struct {
+	count  int64
+	accSum int64
+	trnSum int64
+}
+
+func (b *breakdown) record(c cell, depart sim.Slot) {
+	b.count++
+	b.accSum += int64(c.formed - c.pkt.Arrival)
+	b.trnSum += int64(depart - c.formed)
+}
+
+// DelayBreakdown returns the decomposition over all packets delivered so
+// far.
+func (s *Switch) DelayBreakdown() DelayBreakdown {
+	if s.breakdown.count == 0 {
+		return DelayBreakdown{}
+	}
+	n := float64(s.breakdown.count)
+	return DelayBreakdown{
+		Count:        s.breakdown.count,
+		Accumulation: float64(s.breakdown.accSum) / n,
+		Transit:      float64(s.breakdown.trnSum) / n,
+	}
+}

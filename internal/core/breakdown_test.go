@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sprinklers/internal/traffic"
+)
+
+// TestBreakdownAccumulationMatchesTheory: a single VOQ of rate r with
+// stripe size f waits on average (f-1)/(2r) slots for its stripe to fill
+// (each of the f positions waits (f-1-u)/r on average ... summed and
+// averaged = (f-1)/(2r)). The measured accumulation component must match.
+func TestBreakdownAccumulationMatchesTheory(t *testing.T) {
+	const n = 16
+	const r = 0.02 // F(r) at N=16: r*256 = 5.12 -> stripe size 8
+	rates := singleFlow(n, 0, 5, r)
+	sw := MustNew(Config{N: n, Rates: rates, Rand: rand.New(rand.NewSource(101))})
+	m := traffic.NewMatrix(rates)
+	src := traffic.NewBernoulli(m, rand.New(rand.NewSource(102)))
+	for tt := 0; tt < 600000; tt++ {
+		src.Next(int64ToSlot(tt), sw.Arrive)
+		sw.Step(nil)
+	}
+	b := sw.DelayBreakdown()
+	if b.Count == 0 {
+		t.Fatal("no packets measured")
+	}
+	f := float64(sw.StripeSizeOf(0, 5))
+	if f != 8 {
+		t.Fatalf("stripe size %v, want 8", f)
+	}
+	want := (f - 1) / (2 * r)
+	if rel := math.Abs(b.Accumulation-want) / want; rel > 0.1 {
+		t.Fatalf("accumulation %.1f, theory %.1f (rel err %.2f)", b.Accumulation, want, rel)
+	}
+	// Transit for an uncontended flow: LSF start alignment (up to N),
+	// fabric crossings and the output grid alignment — order N, far below
+	// the accumulation time.
+	if b.Transit <= 0 || b.Transit > 10*n {
+		t.Fatalf("transit %.1f out of expected range", b.Transit)
+	}
+	if math.Abs(b.Mean()-(b.Accumulation+b.Transit)) > 1e-9 {
+		t.Fatal("Mean() inconsistent")
+	}
+}
+
+// TestBreakdownConsistentWithObservedDelay: the decomposition must add up
+// to the true mean delay measured externally.
+func TestBreakdownConsistentWithObservedDelay(t *testing.T) {
+	const n = 16
+	m := traffic.Diagonal(n, 0.6)
+	sw := newSwitch(t, n, m, GatedLSF, 103)
+	src := traffic.NewBernoulli(m, rand.New(rand.NewSource(104)))
+	var sum float64
+	var count int64
+	for tt := 0; tt < 80000; tt++ {
+		src.Next(int64ToSlot(tt), sw.Arrive)
+		sw.Step(func(d delivery) {
+			sum += float64(d.Delay())
+			count++
+		})
+	}
+	b := sw.DelayBreakdown()
+	if b.Count != count {
+		t.Fatalf("breakdown counted %d, observer %d", b.Count, count)
+	}
+	if math.Abs(b.Mean()-sum/float64(count)) > 1e-6 {
+		t.Fatalf("breakdown mean %.3f, observed %.3f", b.Mean(), sum/float64(count))
+	}
+}
+
+// TestBreakdownEmptySwitch: zero-value semantics.
+func TestBreakdownEmptySwitch(t *testing.T) {
+	sw := MustNew(Config{N: 8})
+	if b := sw.DelayBreakdown(); b.Count != 0 || b.Mean() != 0 {
+		t.Fatalf("empty breakdown: %+v", b)
+	}
+}
+
+// TestBreakdownShowsSizingEffect: with stripes forced to N, accumulation
+// dominates for mice; the rate-proportional switch must show a much smaller
+// accumulation component under the same workload.
+func TestBreakdownShowsSizingEffect(t *testing.T) {
+	const n = 16
+	m := traffic.Uniform(n, 0.15) // per-VOQ rate ~0.0094 -> F = 4
+	run := func(cfg Config) DelayBreakdown {
+		cfg.Rand = rand.New(rand.NewSource(105))
+		sw := MustNew(cfg)
+		src := traffic.NewBernoulli(m, rand.New(rand.NewSource(106)))
+		for tt := 0; tt < 200000; tt++ {
+			src.Next(int64ToSlot(tt), sw.Arrive)
+			sw.Step(nil)
+		}
+		return sw.DelayBreakdown()
+	}
+	prop := run(Config{N: n, Rates: rowsOf(m)})
+	full := run(Config{N: n, DefaultStripeSize: n})
+	if full.Accumulation < 2*prop.Accumulation {
+		t.Fatalf("full-frame accumulation %.0f should dwarf proportional %.0f",
+			full.Accumulation, prop.Accumulation)
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"sprinklers/internal/dyadic"
+	"sprinklers/internal/queue"
+	"sprinklers/internal/sim"
+)
+
+// cell is a packet annotated with the identity of the stripe it belongs to.
+// The stripe id exists only inside the switch; it powers the lockstep
+// assertions that prove the gated scheduler never interleaves stripes.
+type cell struct {
+	pkt      sim.Packet
+	stripeID uint64
+	formed   sim.Slot // slot the packet's stripe was completed
+}
+
+// inputPort holds one input port's VOQs, ready queues and the LSF stripe
+// scheduler state.
+//
+// For the gated scheduler the storage is one stripe FIFO per dyadic
+// interval: 2N-1 FIFOs, the collapsed form of the N x (log2 N + 1) bank
+// noted at the end of Sec. 3.4.2. For the greedy scheduler the storage is
+// the full per-(row, size) packet FIFO bank with one nonempty-bitmap word
+// per row, exactly the structure of Fig. 4.
+type inputPort struct {
+	sw       *Switch
+	i        int
+	voqs     []*voqState
+	buffered int // packets at this input (ready + scheduled)
+
+	// Gated scheduler state.
+	stripes []queue.FIFO[*stripe] // indexed by dyadic.Index
+	serving bool
+	cur     *stripe
+	curNext int
+
+	// Greedy scheduler state.
+	rows   [][]queue.FIFO[cell] // rows[l][k]: packets for port l from size-2^k stripes
+	bitmap []uint64             // bit k set iff rows[l][k] nonempty
+}
+
+func newInputPort(sw *Switch, i int) *inputPort {
+	in := &inputPort{
+		sw:   sw,
+		i:    i,
+		voqs: make([]*voqState, sw.n),
+	}
+	for j := range in.voqs {
+		v := &voqState{out: j, primary: sw.PrimaryPort(i, j)}
+		v.setSize(initialSize(sw.cfg, i, j))
+		in.voqs[j] = v
+	}
+	switch sw.cfg.Scheduler {
+	case GatedLSF:
+		in.stripes = make([]queue.FIFO[*stripe], 2*sw.n-1)
+	case GreedyLSF:
+		in.rows = make([][]queue.FIFO[cell], sw.n)
+		for l := range in.rows {
+			in.rows[l] = make([]queue.FIFO[cell], sw.levels)
+		}
+		in.bitmap = make([]uint64, sw.n)
+	}
+	return in
+}
+
+// arrive buffers p in its VOQ's ready queue and forms a stripe if the queue
+// reached the VOQ's stripe size.
+func (in *inputPort) arrive(p sim.Packet) {
+	v := in.voqs[p.Out]
+	v.ready = append(v.ready, p)
+	in.buffered++
+	in.formStripes(v)
+}
+
+// formStripes moves as many full stripes as possible from the ready queue
+// into the scheduler storage. Formation is suspended while the VOQ is in an
+// adaptive clearance phase.
+func (in *inputPort) formStripes(v *voqState) {
+	for !v.draining && len(v.ready) >= v.size {
+		f := v.size
+		pkts := make([]sim.Packet, f)
+		copy(pkts, v.ready[:f])
+		v.ready = append(v.ready[:0], v.ready[f:]...)
+		for u := range pkts {
+			pkts[u].StripeSize = f
+		}
+		st := &stripe{
+			id:     in.sw.nextStripeID,
+			in:     in.i,
+			out:    v.out,
+			iv:     v.iv,
+			formed: in.sw.t,
+			pkts:   pkts,
+		}
+		in.sw.nextStripeID++
+		v.committed += f
+		in.schedule(st)
+	}
+}
+
+// schedule places a completed stripe into the scheduler storage.
+func (in *inputPort) schedule(st *stripe) {
+	switch in.sw.cfg.Scheduler {
+	case GatedLSF:
+		in.stripes[dyadic.Index(st.iv, in.sw.n)].Push(st)
+	case GreedyLSF:
+		k := dyadic.Log2(st.iv.Size)
+		for u, p := range st.pkts {
+			l := st.iv.Start + u
+			in.rows[l][k].Push(cell{pkt: p, stripeID: st.id, formed: st.formed})
+			in.bitmap[l] |= 1 << uint(k)
+		}
+	}
+}
+
+// serve executes one first-fabric slot for this input port: it returns the
+// packet (if any) to transmit to the intermediate port the fabric currently
+// connects the input to.
+func (in *inputPort) serve(t sim.Slot) (cell, bool) {
+	l := sim.FirstStage(in.i, t, in.sw.n)
+	switch in.sw.cfg.Scheduler {
+	case GatedLSF:
+		return in.serveGated(l)
+	default:
+		return in.serveGreedy(l)
+	}
+}
+
+func (in *inputPort) serveGated(l int) (cell, bool) {
+	if in.serving {
+		st := in.cur
+		if st.iv.Start+in.curNext != l {
+			panic(fmt.Sprintf("core: input %d gated service lost lockstep: stripe %v next %d, connection %d",
+				in.i, st.iv, in.curNext, l))
+		}
+		p := st.pkts[in.curNext]
+		in.curNext++
+		if in.curNext == len(st.pkts) {
+			in.serving = false
+			in.cur = nil
+		}
+		in.buffered--
+		return cell{pkt: p, stripeID: st.id, formed: st.formed}, true
+	}
+	// Largest Stripe First among the stripes whose dyadic interval starts
+	// at the connected port (Algorithm 1).
+	for f := dyadic.MaxSizeStartingAt(l, in.sw.n); f >= 1; f >>= 1 {
+		q := &in.stripes[dyadic.Index(dyadic.Interval{Start: l, Size: f}, in.sw.n)]
+		if q.Empty() {
+			continue
+		}
+		st := q.Pop()
+		if len(st.pkts) > 1 {
+			in.serving = true
+			in.cur = st
+			in.curNext = 1
+		}
+		in.buffered--
+		return cell{pkt: st.pkts[0], stripeID: st.id, formed: st.formed}, true
+	}
+	return cell{}, false
+}
+
+func (in *inputPort) serveGreedy(l int) (cell, bool) {
+	bm := in.bitmap[l]
+	if bm == 0 {
+		return cell{}, false
+	}
+	// "First one from the right" of Fig. 4: the largest stripe size with a
+	// packet queued for this row.
+	k := bits.Len64(bm) - 1
+	q := &in.rows[l][k]
+	c := q.Pop()
+	if q.Empty() {
+		in.bitmap[l] &^= 1 << uint(k)
+	}
+	in.buffered--
+	return c, true
+}
+
+// queuedStripes reports, for tests, the number of completed stripes waiting
+// at this input for the given interval (gated scheduler only).
+func (in *inputPort) queuedStripes(iv dyadic.Interval) int {
+	if in.sw.cfg.Scheduler != GatedLSF {
+		return 0
+	}
+	return in.stripes[dyadic.Index(iv, in.sw.n)].Len()
+}

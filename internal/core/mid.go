@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"sprinklers/internal/dyadic"
+	"sprinklers/internal/queue"
+	"sprinklers/internal/sim"
+)
+
+// midStage implements the intermediate ports and, for the gated scheduler,
+// the per-output virtual schedule grids of Sec. 3.4.3.
+//
+// Physically each intermediate port m keeps one FIFO per (output, stripe
+// size) pair — the same data structure as the input ports, with each
+// instance's rows distributed across the N intermediate ports. The only
+// cross-port information used is the stripe size carried in each packet's
+// internal header, exactly the log2 log2 N bits the paper budgets; the
+// stripe id is carried alongside purely to power runtime assertions.
+type midStage struct {
+	sw       *Switch
+	n        int
+	levels   int
+	q        [][][]queue.FIFO[cell] // q[m][j][k]
+	bitmap   [][]uint64             // bitmap[m][j]: bit k set iff q[m][j][k] nonempty
+	grids    []outputGrid           // per-output virtual grid state (gated)
+	buffered int
+}
+
+// outputGrid is the service state of one output's virtual schedule grid: at
+// most one stripe is "in service" at a time, and once started it is drained
+// from consecutive intermediate ports in consecutive slots, which is what
+// makes its packets arrive at the output in one burst.
+type outputGrid struct {
+	serving bool
+	iv      dyadic.Interval
+	next    int
+	id      uint64
+}
+
+func newMidStage(sw *Switch) *midStage {
+	m := &midStage{
+		sw:     sw,
+		n:      sw.n,
+		levels: sw.levels,
+		q:      make([][][]queue.FIFO[cell], sw.n),
+		bitmap: make([][]uint64, sw.n),
+		grids:  make([]outputGrid, sw.n),
+	}
+	for l := range m.q {
+		m.q[l] = make([][]queue.FIFO[cell], sw.n)
+		m.bitmap[l] = make([]uint64, sw.n)
+		for j := range m.q[l] {
+			m.q[l][j] = make([]queue.FIFO[cell], sw.levels)
+		}
+	}
+	return m
+}
+
+// enqueue buffers a cell arriving at intermediate port l over the first
+// fabric.
+func (ms *midStage) enqueue(l int, c cell) {
+	k := dyadic.Log2(c.pkt.StripeSize)
+	ms.q[l][c.pkt.Out][k].Push(c)
+	ms.bitmap[l][c.pkt.Out] |= 1 << uint(k)
+	ms.buffered++
+}
+
+// step executes one second-fabric slot.
+func (ms *midStage) step(t sim.Slot, deliver sim.DeliverFunc) {
+	if ms.sw.cfg.Scheduler == GatedLSF {
+		for j := 0; j < ms.n; j++ {
+			ms.stepOutputGated(j, t, deliver)
+		}
+		return
+	}
+	for m := 0; m < ms.n; m++ {
+		ms.stepPortGreedy(m, t, deliver)
+	}
+}
+
+// stepOutputGated advances output j's virtual grid by one slot. The fabric
+// connects output j to intermediate port m = (j + t) mod N, i.e. the
+// service sweeps the grid rows top to bottom, one per slot.
+func (ms *midStage) stepOutputGated(j int, t sim.Slot, deliver sim.DeliverFunc) {
+	g := &ms.grids[j]
+	m := sim.IntermediateFor(j, t, ms.n)
+	if g.serving {
+		if g.iv.Start+g.next != m {
+			panic(fmt.Sprintf("core: output %d grid lost lockstep: stripe %v next %d, connection %d",
+				j, g.iv, g.next, m))
+		}
+		c := ms.pop(m, j, dyadic.Log2(g.iv.Size))
+		if c.stripeID != g.id {
+			panic(fmt.Sprintf("core: output %d grid served stripe %d while %d was in service",
+				j, c.stripeID, g.id))
+		}
+		g.next++
+		if g.next == g.iv.Size {
+			g.serving = false
+		}
+		ms.deliverCell(c, t, deliver)
+		return
+	}
+	// Start the largest stripe whose interval begins at row m and whose
+	// head packet has reached this port. Every size-2^k packet queued at a
+	// row divisible by 2^k is the first packet of its stripe, so popping
+	// the FIFO head is exactly "start the oldest largest stripe".
+	for f := dyadic.MaxSizeStartingAt(m, ms.n); f >= 1; f >>= 1 {
+		k := dyadic.Log2(f)
+		if ms.bitmap[m][j]&(1<<uint(k)) == 0 {
+			continue
+		}
+		c := ms.pop(m, j, k)
+		if f > 1 {
+			g.serving = true
+			g.iv = dyadic.Interval{Start: m, Size: f}
+			g.next = 1
+			g.id = c.stripeID
+		}
+		ms.deliverCell(c, t, deliver)
+		return
+	}
+}
+
+// stepPortGreedy is the stripe-oblivious variant: intermediate port m scans
+// its own row of the connected output's grid from largest stripe size to
+// smallest and forwards the first head-of-line packet found.
+func (ms *midStage) stepPortGreedy(m int, t sim.Slot, deliver sim.DeliverFunc) {
+	j := sim.SecondStage(m, t, ms.n)
+	bm := ms.bitmap[m][j]
+	if bm == 0 {
+		return
+	}
+	k := bits.Len64(bm) - 1
+	c := ms.pop(m, j, k)
+	ms.deliverCell(c, t, deliver)
+}
+
+func (ms *midStage) pop(m, j, k int) cell {
+	q := &ms.q[m][j][k]
+	if q.Empty() {
+		panic(fmt.Sprintf("core: pop from empty intermediate FIFO m=%d j=%d size=%d", m, j, 1<<uint(k)))
+	}
+	c := q.Pop()
+	if q.Empty() {
+		ms.bitmap[m][j] &^= 1 << uint(k)
+	}
+	return c
+}
+
+func (ms *midStage) deliverCell(c cell, t sim.Slot, deliver sim.DeliverFunc) {
+	ms.buffered--
+	ms.sw.breakdown.record(c, t)
+	ms.sw.onDelivered(c.pkt)
+	if deliver != nil {
+		deliver(sim.Delivery{Packet: c.pkt, Depart: t})
+	}
+}
+
+// queueLen reports, for tests, the number of packets buffered at
+// intermediate port m for output j across all stripe sizes.
+func (ms *midStage) queueLen(m, j int) int {
+	total := 0
+	for k := 0; k < ms.levels; k++ {
+		total += ms.q[m][j][k].Len()
+	}
+	return total
+}

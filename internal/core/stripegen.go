@@ -1,0 +1,58 @@
+package core
+
+import (
+	"sprinklers/internal/dyadic"
+	"sprinklers/internal/sim"
+)
+
+// stripe is a group of f consecutive packets from one VOQ, where f is the
+// VOQ's current stripe size. The u-th packet of the stripe traverses
+// intermediate port iv.Start+u, so a stripe crosses each fabric "in one
+// burst" of consecutive slots.
+type stripe struct {
+	id     uint64
+	in     int // originating input port
+	out    int // destination output port
+	iv     dyadic.Interval
+	formed sim.Slot // slot the stripe was completed at the input
+	pkts   []sim.Packet
+}
+
+// voqState is the per-VOQ routing state at an input port.
+type voqState struct {
+	out     int
+	primary int // OLS-assigned primary intermediate port
+	size    int // current stripe size F(r), a power of two
+	iv      dyadic.Interval
+	ready   []sim.Packet // packets accumulating toward the next stripe
+
+	// committed counts this VOQ's packets inside the switch beyond the
+	// ready queue (in input stripe FIFOs or the center stage). The
+	// adaptive clearance phase of Sec. 5 waits for it to reach zero
+	// before changing the stripe size.
+	committed int
+	// draining is set while a resize is waiting for clearance; stripe
+	// formation is suspended so no packets of the old size remain when
+	// the new size takes effect.
+	draining bool
+	pending  int // stripe size to adopt once drained (0 = none)
+}
+
+// initialSize returns the stripe size a VOQ starts with under cfg.
+func initialSize(cfg Config, i, j int) int {
+	if cfg.Rates != nil {
+		return dyadic.StripeSize(cfg.Rates[i][j], cfg.N)
+	}
+	if cfg.DefaultStripeSize != 0 {
+		return cfg.DefaultStripeSize
+	}
+	return 1
+}
+
+// setSize installs a stripe size and the corresponding dyadic interval
+// around the VOQ's primary intermediate port (Sec. 3.3.1: the unique dyadic
+// interval of size f containing the primary port).
+func (v *voqState) setSize(f int) {
+	v.size = f
+	v.iv = dyadic.Containing(v.primary, f)
+}

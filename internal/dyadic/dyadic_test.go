@@ -1,0 +1,241 @@
+package dyadic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalValid(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		n    int
+		want bool
+	}{
+		{Interval{0, 1}, 8, true},
+		{Interval{0, 8}, 8, true},
+		{Interval{4, 4}, 8, true},
+		{Interval{6, 2}, 8, true},
+		{Interval{2, 4}, 8, false},  // start not divisible by size
+		{Interval{0, 3}, 8, false},  // size not a power of two
+		{Interval{0, 16}, 8, false}, // exceeds port range
+		{Interval{8, 1}, 8, false},  // start out of range
+		{Interval{0, 0}, 8, false},  // zero size
+		{Interval{-4, 4}, 8, false}, // negative start
+	}
+	for _, c := range cases {
+		if got := c.iv.Valid(c.n); got != c.want {
+			t.Errorf("Valid(%v, n=%d) = %v, want %v", c.iv, c.n, got, c.want)
+		}
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Start: 4, Size: 4}
+	for p := 0; p < 12; p++ {
+		want := p >= 4 && p < 8
+		if got := iv.Contains(p); got != want {
+			t.Errorf("(%v).Contains(%d) = %v, want %v", iv, p, got, want)
+		}
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	if got := (Interval{Start: 8, Size: 4}).String(); got != "(8,12]" {
+		t.Errorf("String = %q, want (8,12]", got)
+	}
+}
+
+func TestContaining(t *testing.T) {
+	// The paper's example: VOQ 7 mapped to primary intermediate port 1
+	// (0-based: 0) with stripe size 4 gets interval (0,4] (0-based start 0).
+	if got := Containing(0, 4); got != (Interval{0, 4}) {
+		t.Errorf("Containing(0,4) = %v", got)
+	}
+	for p := 0; p < 16; p++ {
+		for size := 1; size <= 16; size *= 2 {
+			iv := Containing(p, size)
+			if !iv.Valid(16) {
+				t.Fatalf("Containing(%d,%d) = %v invalid", p, size, iv)
+			}
+			if !iv.Contains(p) {
+				t.Fatalf("Containing(%d,%d) = %v does not contain %d", p, size, iv, p)
+			}
+		}
+	}
+}
+
+// TestBearHugProperty checks the structural law of Sec. 3.1: two dyadic
+// intervals either nest ("bear hug") or do not touch.
+func TestBearHugProperty(t *testing.T) {
+	const n = 64
+	f := func(p1, s1exp, p2, s2exp uint8) bool {
+		iv1 := Containing(int(p1)%n, 1<<(s1exp%7))
+		iv2 := Containing(int(p2)%n, 1<<(s2exp%7))
+		if iv1.Overlaps(iv2) {
+			return iv1.ContainsInterval(iv2) || iv2.ContainsInterval(iv1)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxSizeStartingAt(t *testing.T) {
+	cases := []struct{ p, n, want int }{
+		{0, 16, 16},
+		{1, 16, 1},
+		{2, 16, 2},
+		{4, 16, 4},
+		{6, 16, 2},
+		{8, 16, 8},
+		{12, 16, 4},
+		{8, 8, 8}, // capped at n
+	}
+	for _, c := range cases {
+		if got := MaxSizeStartingAt(c.p, c.n); got != c.want {
+			t.Errorf("MaxSizeStartingAt(%d, %d) = %d, want %d", c.p, c.n, got, c.want)
+		}
+	}
+}
+
+func TestStripeSizeTable(t *testing.T) {
+	// Explicit checks of Eq. 1 at N=32 (N^2 = 1024).
+	cases := []struct {
+		r    float64
+		want int
+	}{
+		{0, 1},
+		{0.5 / 1024, 1},   // r N^2 = 0.5 -> size 1
+		{1.0 / 1024, 1},   // exactly 1/N^2 -> size 1
+		{1.5 / 1024, 2},   // 1.5 -> ceil log2 = 1 -> 2
+		{2.0 / 1024, 2},   // exactly 2 -> 2
+		{2.1 / 1024, 4},   // just above 2 -> 4
+		{4.0 / 1024, 4},   // exact power of two boundary
+		{5.0 / 1024, 8},   //
+		{16.0 / 1024, 16}, //
+		{17.0 / 1024, 32}, //
+		{1.0 / 32, 32},    // r = 1/N -> size N
+		{0.9, 32},         // very high rate capped at N
+	}
+	for _, c := range cases {
+		if got := StripeSize(c.r, 32); got != c.want {
+			t.Errorf("StripeSize(%v, 32) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+// TestStripeSizeProperties checks, for random rates: the size is a power of
+// two within [1, N]; it is monotone in the rate; and the induced
+// load-per-share never exceeds 1/N^2 unless the stripe already spans all N
+// ports (the "water pressure per stream" guarantee of Sec. 3.3.2).
+func TestStripeSizeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{2, 8, 32, 1024} {
+		for trial := 0; trial < 2000; trial++ {
+			r := rng.Float64()
+			f := StripeSize(r, n)
+			if !IsPow2(f) || f > n {
+				t.Fatalf("StripeSize(%v, %d) = %d not a power of two in range", r, n, f)
+			}
+			if f < n && r/float64(f) > 1/float64(n*n)+1e-12 {
+				t.Fatalf("load-per-share %v exceeds 1/N^2 at r=%v n=%d f=%d",
+					r/float64(f), r, n, f)
+			}
+			r2 := r + rng.Float64()*(1-r)
+			if StripeSize(r2, n) < f {
+				t.Fatalf("StripeSize not monotone: F(%v)=%d > F(%v)=%d",
+					r, f, r2, StripeSize(r2, n))
+			}
+		}
+	}
+}
+
+func TestStripeSizeExactPowersNoFloatDrift(t *testing.T) {
+	// r*N^2 = 2^k exactly must give size 2^k, not 2^(k+1).
+	for _, n := range []int{8, 64, 1024, 4096} {
+		nn := float64(n) * float64(n)
+		for k := 0; 1<<k <= n; k++ {
+			r := float64(int(1)<<k) / nn
+			if got := StripeSize(r, n); got != 1<<k {
+				t.Errorf("N=%d: StripeSize(2^%d/N^2) = %d, want %d", n, k, got, 1<<k)
+			}
+		}
+	}
+}
+
+func TestLevelsAndLog2(t *testing.T) {
+	if Levels(32) != 6 {
+		t.Errorf("Levels(32) = %d, want 6", Levels(32))
+	}
+	for k := 0; k < 12; k++ {
+		if Log2(1<<k) != k {
+			t.Errorf("Log2(2^%d) = %d", k, Log2(1<<k))
+		}
+	}
+}
+
+func TestAllEnumerates(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 32} {
+		ivs := All(n)
+		if len(ivs) != 2*n-1 {
+			t.Fatalf("All(%d) returned %d intervals, want %d", n, len(ivs), 2*n-1)
+		}
+		seen := map[Interval]bool{}
+		for _, iv := range ivs {
+			if !iv.Valid(n) {
+				t.Fatalf("All(%d) produced invalid %v", n, iv)
+			}
+			if seen[iv] {
+				t.Fatalf("All(%d) produced duplicate %v", n, iv)
+			}
+			seen[iv] = true
+		}
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 32, 128} {
+		used := make([]bool, 2*n-1)
+		for _, iv := range All(n) {
+			idx := Index(iv, n)
+			if idx < 0 || idx >= 2*n-1 {
+				t.Fatalf("Index(%v, %d) = %d out of range", iv, n, idx)
+			}
+			if used[idx] {
+				t.Fatalf("Index collision at %d for %v", idx, iv)
+			}
+			used[idx] = true
+			if got := FromIndex(idx, n); got != iv {
+				t.Fatalf("FromIndex(Index(%v)) = %v", iv, got)
+			}
+		}
+	}
+}
+
+func TestLoadPerShare(t *testing.T) {
+	got := LoadPerShare(4.0/1024, 32)
+	if math.Abs(got-1.0/1024) > 1e-15 {
+		t.Errorf("LoadPerShare = %v, want 1/1024", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"StripeSize non-pow2 N": func() { StripeSize(0.5, 12) },
+		"Levels non-pow2":       func() { Levels(12) },
+		"Log2 non-pow2":         func() { Log2(12) },
+		"FromIndex range":       func() { FromIndex(15, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

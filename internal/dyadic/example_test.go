@@ -1,0 +1,44 @@
+package dyadic_test
+
+import (
+	"fmt"
+
+	"sprinklers/internal/dyadic"
+)
+
+// ExampleStripeSize reproduces the sizing rule of Eq. 1 on the paper's own
+// example regimes: tiny VOQs get single-port stripes, a rate above 1/N gets
+// the full switch width.
+func ExampleStripeSize() {
+	const n = 32
+	for _, r := range []float64{0.0005, 0.004, 0.02, 0.5} {
+		fmt.Printf("rate %.4f -> stripe size %d\n", r, dyadic.StripeSize(r, n))
+	}
+	// Output:
+	// rate 0.0005 -> stripe size 1
+	// rate 0.0040 -> stripe size 8
+	// rate 0.0200 -> stripe size 32
+	// rate 0.5000 -> stripe size 32
+}
+
+// ExampleContaining mirrors the paper's Fig. 2 example: VOQ 7 (1-based) has
+// primary intermediate port 1 and stripe size 4, so its stripe interval is
+// (0, 4].
+func ExampleContaining() {
+	primary := 0 // port 1 in the paper's 1-based numbering
+	iv := dyadic.Containing(primary, 4)
+	fmt.Println(iv)
+	// Output:
+	// (0,4]
+}
+
+// ExampleInterval_ContainsInterval shows the bear-hug law: dyadic intervals
+// either nest or are disjoint.
+func ExampleInterval_ContainsInterval() {
+	big := dyadic.Containing(5, 8)
+	small := dyadic.Containing(5, 2)
+	other := dyadic.Containing(12, 4)
+	fmt.Println(big.ContainsInterval(small), big.Overlaps(other))
+	// Output:
+	// true false
+}

@@ -1,0 +1,263 @@
+// Package experiment is the benchmark harness for the paper's simulation
+// study (Sec. 6): it constructs any of the compared switch architectures,
+// drives it with the paper's workloads, and produces the delay-versus-load
+// series of Figures 6 and 7 plus the ablation sweeps described in DESIGN.md.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"sprinklers/internal/baseline"
+	"sprinklers/internal/cms"
+	"sprinklers/internal/core"
+	"sprinklers/internal/foff"
+	"sprinklers/internal/hashing"
+	"sprinklers/internal/pf"
+	"sprinklers/internal/sim"
+	"sprinklers/internal/stats"
+	"sprinklers/internal/traffic"
+	"sprinklers/internal/ufs"
+)
+
+// Algorithm names a switch architecture under test.
+type Algorithm string
+
+// The architectures compared in the paper's evaluation, plus the greedy
+// Sprinklers variant and TCP hashing used by the ablation studies.
+const (
+	LoadBalanced     Algorithm = "load-balanced" // baseline, no ordering guarantee
+	UFS              Algorithm = "ufs"
+	FOFF             Algorithm = "foff"
+	PF               Algorithm = "pf"
+	Sprinklers       Algorithm = "sprinklers"
+	SprinklersGreedy Algorithm = "sprinklers-greedy"
+	TCPHashing       Algorithm = "tcp-hashing"
+	CMS              Algorithm = "cms"
+)
+
+// Fig6Algorithms is the set of curves in Figures 6 and 7, in the paper's
+// legend order.
+var Fig6Algorithms = []Algorithm{LoadBalanced, UFS, FOFF, PF, Sprinklers}
+
+// AllAlgorithms lists every architecture the harness can build.
+var AllAlgorithms = []Algorithm{
+	LoadBalanced, UFS, FOFF, PF, Sprinklers, SprinklersGreedy, TCPHashing, CMS,
+}
+
+// OrderPreserving reports whether the architecture guarantees in-order
+// delivery (FOFF counts: its embedded resequencer restores order).
+func (a Algorithm) OrderPreserving() bool {
+	switch a {
+	case LoadBalanced, SprinklersGreedy:
+		return false
+	default:
+		return true
+	}
+}
+
+// NewSwitch constructs the named architecture for rate matrix m. The
+// Sprinklers variants size their stripes from m, matching the paper's
+// assumption that the (long-term) VOQ rates are known to the switch.
+func NewSwitch(alg Algorithm, m *traffic.Matrix, seed int64) (sim.Switch, error) {
+	n := m.N()
+	switch alg {
+	case LoadBalanced:
+		return baseline.New(n), nil
+	case UFS:
+		return ufs.New(n), nil
+	case FOFF:
+		return foff.New(n), nil
+	case PF:
+		return pf.New(n, pf.AdaptiveThreshold), nil
+	case Sprinklers, SprinklersGreedy:
+		sched := core.GatedLSF
+		if alg == SprinklersGreedy {
+			sched = core.GreedyLSF
+		}
+		rates := make([][]float64, n)
+		for i := range rates {
+			rates[i] = m.Row(i)
+		}
+		return core.New(core.Config{
+			N:         n,
+			Rates:     rates,
+			Scheduler: sched,
+			Rand:      rand.New(rand.NewSource(seed)),
+		})
+	case TCPHashing:
+		return hashing.New(n, rand.New(rand.NewSource(seed))), nil
+	case CMS:
+		return cms.New(n), nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown algorithm %q", alg)
+	}
+}
+
+// TrafficKind selects one of the evaluation workload shapes.
+type TrafficKind string
+
+// Workload shapes. Uniform and Diagonal are the two used by Figs. 6 and 7;
+// the others extend the study.
+const (
+	UniformTraffic     TrafficKind = "uniform"
+	DiagonalTraffic    TrafficKind = "diagonal"
+	HotspotTraffic     TrafficKind = "hotspot"
+	ZipfTraffic        TrafficKind = "zipf"
+	PermutationTraffic TrafficKind = "permutation"
+)
+
+// AllTraffic lists the supported workload shapes.
+var AllTraffic = []TrafficKind{
+	UniformTraffic, DiagonalTraffic, HotspotTraffic, ZipfTraffic, PermutationTraffic,
+}
+
+// Pattern builds the rate matrix for the named workload at the given load.
+func Pattern(kind TrafficKind, n int, load float64, rng *rand.Rand) (*traffic.Matrix, error) {
+	switch kind {
+	case UniformTraffic:
+		return traffic.Uniform(n, load), nil
+	case DiagonalTraffic:
+		return traffic.Diagonal(n, load), nil
+	case HotspotTraffic:
+		return traffic.Hotspot(n, load, 0.5), nil
+	case ZipfTraffic:
+		return traffic.Zipf(n, load, 1.0), nil
+	case PermutationTraffic:
+		return traffic.Permutation(rng.Perm(n), load), nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown traffic kind %q", kind)
+	}
+}
+
+// Point is one measured point of a delay-versus-load curve.
+type Point struct {
+	Algorithm  Algorithm
+	Traffic    TrafficKind
+	N          int
+	Load       float64
+	MeanDelay  float64 // slots
+	P99Delay   float64 // slots (upper estimate)
+	MaxDelay   float64
+	Throughput float64 // delivered / offered over the measured window
+	Reordered  int64   // out-of-order deliveries observed
+	Delivered  int64
+}
+
+// Config parameterizes a sweep.
+type Config struct {
+	N       int
+	Traffic TrafficKind
+	Loads   []float64
+	// Slots is the measured horizon per point; Warmup defaults to
+	// Slots/5.
+	Slots  sim.Slot
+	Warmup sim.Slot
+	Seed   int64
+	// Parallelism bounds concurrent points; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Warmup == 0 {
+		c.Warmup = c.Slots / 5
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// RunPoint measures one (algorithm, load) point.
+func RunPoint(alg Algorithm, cfg Config, load float64) (Point, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m, err := Pattern(cfg.Traffic, cfg.N, load, rng)
+	if err != nil {
+		return Point{}, err
+	}
+	sw, err := NewSwitch(alg, m, cfg.Seed)
+	if err != nil {
+		return Point{}, err
+	}
+	src := traffic.NewBernoulli(m, rand.New(rand.NewSource(cfg.Seed+int64(load*1e6))))
+	delay := &stats.Delay{}
+	reorder := stats.NewReorder(cfg.N)
+	offered, delivered := sim.Run(sw, src,
+		sim.RunConfig{Warmup: cfg.Warmup, Slots: cfg.Slots},
+		stats.Multi{delay, reorder})
+	p := Point{
+		Algorithm: alg,
+		Traffic:   cfg.Traffic,
+		N:         cfg.N,
+		Load:      load,
+		MeanDelay: delay.Mean(),
+		P99Delay:  float64(delay.Percentile(99)),
+		MaxDelay:  float64(delay.Max()),
+		Reordered: reorder.Reordered(),
+		Delivered: delivered,
+	}
+	if offered > 0 {
+		p.Throughput = float64(delivered) / float64(offered)
+	}
+	return p, nil
+}
+
+// Sweep measures delay-versus-load curves for every algorithm over every
+// load in cfg, running points concurrently. Results are ordered by
+// algorithm (in the given order) then load.
+func Sweep(algs []Algorithm, cfg Config) ([]Point, error) {
+	cfg = cfg.withDefaults()
+	type job struct{ ai, li int }
+	jobs := make(chan job)
+	points := make([]Point, len(algs)*len(cfg.Loads))
+	errs := make([]error, len(points))
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				idx := jb.ai*len(cfg.Loads) + jb.li
+				points[idx], errs[idx] = RunPoint(algs[jb.ai], cfg, cfg.Loads[jb.li])
+			}
+		}()
+	}
+	for ai := range algs {
+		for li := range cfg.Loads {
+			jobs <- job{ai, li}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}
+
+// PaperLoads is the load grid of Figures 6 and 7 (the top point is pulled
+// to 0.98 because several schemes saturate at 1.0 and their delay would be
+// unbounded in any finite simulation).
+var PaperLoads = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98}
+
+// Fig6 regenerates Figure 6 (uniform traffic, N=32).
+func Fig6(slots sim.Slot, seed int64) ([]Point, error) {
+	return Sweep(Fig6Algorithms, Config{
+		N: 32, Traffic: UniformTraffic, Loads: PaperLoads, Slots: slots, Seed: seed,
+	})
+}
+
+// Fig7 regenerates Figure 7 (diagonal traffic, N=32).
+func Fig7(slots sim.Slot, seed int64) ([]Point, error) {
+	return Sweep(Fig6Algorithms, Config{
+		N: 32, Traffic: DiagonalTraffic, Loads: PaperLoads, Slots: slots, Seed: seed,
+	})
+}

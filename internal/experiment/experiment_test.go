@@ -1,0 +1,177 @@
+package experiment
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNewSwitchAllAlgorithms(t *testing.T) {
+	m, err := Pattern(UniformTraffic, 8, 0.5, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range AllAlgorithms {
+		sw, err := NewSwitch(alg, m, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if sw.N() != 8 {
+			t.Fatalf("%s: N = %d", alg, sw.N())
+		}
+	}
+	if _, err := NewSwitch("nonsense", m, 1); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+}
+
+func TestPatternKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, kind := range AllTraffic {
+		m, err := Pattern(kind, 16, 0.8, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !m.Admissible(1e-9) {
+			t.Fatalf("%s: inadmissible", kind)
+		}
+	}
+	if _, err := Pattern("nonsense", 16, 0.8, rng); err == nil {
+		t.Fatal("unknown traffic kind should error")
+	}
+}
+
+// TestRunPointOrderingMatchesContract: every architecture that claims
+// order preservation must deliver zero reordered packets, and the baseline
+// must not (at a load where reordering is plentiful).
+func TestRunPointOrderingMatchesContract(t *testing.T) {
+	cfg := Config{N: 8, Traffic: UniformTraffic, Slots: 30000, Seed: 3}
+	for _, alg := range AllAlgorithms {
+		p, err := RunPoint(alg, cfg, 0.8)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if alg.OrderPreserving() && p.Reordered != 0 {
+			t.Errorf("%s reordered %d packets", alg, p.Reordered)
+		}
+		if alg == LoadBalanced && p.Reordered == 0 {
+			t.Error("baseline delivered everything in order; detector broken?")
+		}
+		if p.Delivered == 0 {
+			t.Errorf("%s delivered nothing", alg)
+		}
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	cfg := Config{
+		N: 8, Traffic: DiagonalTraffic,
+		Loads: []float64{0.3, 0.7}, Slots: 20000, Seed: 5, Parallelism: 4,
+	}
+	a, err := Sweep([]Algorithm{Sprinklers, FOFF}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep([]Algorithm{Sprinklers, FOFF}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("sweep sizes %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sweep not deterministic at point %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSweepOrdering(t *testing.T) {
+	cfg := Config{N: 8, Traffic: UniformTraffic, Loads: []float64{0.2, 0.6}, Slots: 10000, Seed: 7}
+	pts, err := Sweep([]Algorithm{UFS, PF}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Results ordered by algorithm then load.
+	if pts[0].Algorithm != UFS || pts[0].Load != 0.2 || pts[3].Algorithm != PF || pts[3].Load != 0.6 {
+		t.Fatalf("sweep order wrong: %+v", pts)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	cfg := Config{N: 8, Traffic: UniformTraffic, Loads: []float64{0.5}, Slots: 10000, Seed: 9}
+	pts, err := Sweep([]Algorithm{Sprinklers}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var curves, detail strings.Builder
+	RenderCurves(&curves, pts)
+	RenderDetail(&detail, pts)
+	if !strings.Contains(curves.String(), "sprinklers") || !strings.Contains(curves.String(), "0.50") {
+		t.Fatalf("curves output missing fields:\n%s", curves.String())
+	}
+	if !strings.Contains(detail.String(), "uniform") {
+		t.Fatalf("detail output missing fields:\n%s", detail.String())
+	}
+	RenderCurves(&curves, nil) // must not panic on empty input
+}
+
+// TestFig6Fig7Wrappers exercises the figure entry points at a tiny horizon.
+func TestFig6Fig7Wrappers(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	pts, err := Sweep(Fig6Algorithms, Config{
+		N: 16, Traffic: UniformTraffic, Loads: []float64{0.5}, Slots: 20000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(Fig6Algorithms) {
+		t.Fatalf("%d points", len(pts))
+	}
+}
+
+func TestSizeSweep(t *testing.T) {
+	pts, err := SizeSweep(Sprinklers, Config{
+		Traffic: UniformTraffic, Loads: []float64{0.8}, Slots: 30000, Seed: 11,
+	}, []int{8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Delay must grow with N (frame/cycle lengths scale with N).
+	if !(pts[0].MeanDelay < pts[1].MeanDelay && pts[1].MeanDelay < pts[2].MeanDelay) {
+		t.Fatalf("delay not increasing in N: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.Reordered != 0 {
+			t.Fatalf("N=%d reordered %d packets", p.N, p.Reordered)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	pts := []Point{{
+		Algorithm: Sprinklers, Traffic: UniformTraffic, N: 8, Load: 0.5,
+		MeanDelay: 12.5, P99Delay: 31, MaxDelay: 60, Throughput: 0.999,
+		Reordered: 0, Delivered: 1000,
+	}}
+	var buf strings.Builder
+	if err := RenderCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines: %v", lines)
+	}
+	if !strings.HasPrefix(lines[0], "algorithm,traffic,n,load") {
+		t.Fatalf("header: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "sprinklers,uniform,8,0.5000,12.500") {
+		t.Fatalf("row: %s", lines[1])
+	}
+}

@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// RenderCurves writes the sweep results as one delay-versus-load table with
+// a column per algorithm, the same presentation as the figures in the
+// paper (delay on a log axis corresponds to the wide dynamic range of the
+// columns).
+func RenderCurves(w io.Writer, points []Point) {
+	if len(points) == 0 {
+		return
+	}
+	var algs []Algorithm
+	seen := map[Algorithm]bool{}
+	loadsSet := map[float64]bool{}
+	byKey := map[string]Point{}
+	for _, p := range points {
+		if !seen[p.Algorithm] {
+			seen[p.Algorithm] = true
+			algs = append(algs, p.Algorithm)
+		}
+		loadsSet[p.Load] = true
+		byKey[fmt.Sprintf("%s/%.4f", p.Algorithm, p.Load)] = p
+	}
+	loads := make([]float64, 0, len(loadsSet))
+	for l := range loadsSet {
+		loads = append(loads, l)
+	}
+	sort.Float64s(loads)
+
+	fmt.Fprintf(w, "%-6s", "load")
+	for _, a := range algs {
+		fmt.Fprintf(w, " %16s", a)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 6+17*len(algs)))
+	for _, l := range loads {
+		fmt.Fprintf(w, "%-6.2f", l)
+		for _, a := range algs {
+			p, ok := byKey[fmt.Sprintf("%s/%.4f", a, l)]
+			if !ok {
+				fmt.Fprintf(w, " %16s", "-")
+				continue
+			}
+			fmt.Fprintf(w, " %16.1f", p.MeanDelay)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderCSV writes the sweep results as CSV (one row per point), ready for
+// plotting the figures with any external tool.
+func RenderCSV(w io.Writer, points []Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"algorithm", "traffic", "n", "load",
+		"mean_delay_slots", "p99_delay_slots", "max_delay_slots",
+		"throughput", "reordered", "delivered",
+	}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			string(p.Algorithm),
+			string(p.Traffic),
+			strconv.Itoa(p.N),
+			strconv.FormatFloat(p.Load, 'f', 4, 64),
+			strconv.FormatFloat(p.MeanDelay, 'f', 3, 64),
+			strconv.FormatFloat(p.P99Delay, 'f', 0, 64),
+			strconv.FormatFloat(p.MaxDelay, 'f', 0, 64),
+			strconv.FormatFloat(p.Throughput, 'f', 6, 64),
+			strconv.FormatInt(p.Reordered, 10),
+			strconv.FormatInt(p.Delivered, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderDetail writes per-point detail rows (throughput, tail delay,
+// reordering) for diagnosis.
+func RenderDetail(w io.Writer, points []Point) {
+	fmt.Fprintf(w, "%-18s %-10s %5s %6s %12s %12s %12s %10s %10s\n",
+		"algorithm", "traffic", "N", "load", "mean-delay", "p99-delay", "max-delay", "thruput", "reordered")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-18s %-10s %5d %6.2f %12.1f %12.0f %12.0f %10.4f %10d\n",
+			p.Algorithm, p.Traffic, p.N, p.Load,
+			p.MeanDelay, p.P99Delay, p.MaxDelay, p.Throughput, p.Reordered)
+	}
+}

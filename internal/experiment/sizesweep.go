@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"sync"
+)
+
+// SizePoint is one point of a delay-versus-switch-size curve.
+type SizePoint struct {
+	Algorithm Algorithm
+	N         int
+	Load      float64
+	MeanDelay float64
+	P99Delay  float64
+	Reordered int64
+}
+
+// SizeSweep measures how mean delay scales with the switch size at a fixed
+// load — an extension of the paper's evaluation (its simulations fix N=32).
+// For Sprinklers the Sec. 5 analysis predicts the dominant components grow
+// linearly in N (stripe accumulation is rate-proportional but the
+// intermediate-stage queueing scales with the N-slot service cycle); the
+// sweep makes that measurable and comparable across architectures.
+func SizeSweep(alg Algorithm, cfg Config, ns []int) ([]SizePoint, error) {
+	cfg = cfg.withDefaults()
+	points := make([]SizePoint, len(ns))
+	errs := make([]error, len(ns))
+	sem := make(chan struct{}, cfg.Parallelism)
+	var wg sync.WaitGroup
+	for idx, n := range ns {
+		idx, n := idx, n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cfg
+			c.N = n
+			p, err := RunPoint(alg, c, cfg.Loads[0])
+			if err != nil {
+				errs[idx] = err
+				return
+			}
+			points[idx] = SizePoint{
+				Algorithm: alg,
+				N:         n,
+				Load:      p.Load,
+				MeanDelay: p.MeanDelay,
+				P99Delay:  p.P99Delay,
+				Reordered: p.Reordered,
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}

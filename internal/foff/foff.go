@@ -1,0 +1,148 @@
+// Package foff implements Full Ordered Frames First (Keslassy, Sec. 2.2 of
+// the paper).
+//
+// Every VOQ stripes its packets deterministically: the k-th packet of the
+// VOQ (counting from 0) always traverses intermediate port k mod N, so each
+// flow deposits exactly one packet per port per frame — "continuing where
+// it left off" across service interruptions. An input therefore serves a
+// VOQ only in slots whose first-fabric connection matches the VOQ's next
+// port. Among the VOQs eligible in a slot, full ordered frames are served
+// first: a VOQ that begins a frame with all N packets present keeps
+// priority until the frame completes; leftover slots serve incomplete
+// frames round-robin.
+//
+// Because incomplete frames from different inputs interleave with different
+// phases, packets can still reach an output a bounded number of positions
+// out of order — the O(N^2) bound of the paper. The switch therefore embeds
+// per-output resequencing buffers; deliveries seen by the caller are always
+// in per-flow order with the resequencing wait charged to packet delay.
+package foff
+
+import (
+	"sprinklers/internal/midstage"
+	"sprinklers/internal/queue"
+	"sprinklers/internal/sim"
+	"sprinklers/internal/stats"
+)
+
+// Switch is a Full Ordered Frames First switch.
+type Switch struct {
+	n     int
+	t     sim.Slot
+	voq   [][]queue.FIFO[sim.Packet]
+	sent  [][]uint64 // packets sent per VOQ; next port = sent % n
+	full  [][]bool   // VOQ is inside a full ordered frame
+	rr    []int      // per-input round-robin tie-break pointer
+	mid   *midstage.Stage
+	inBuf int
+	reseq *stats.Resequencer
+	pacer *stats.Pacer
+}
+
+// New builds an n-port FOFF switch.
+func New(n int) *Switch {
+	s := &Switch{
+		n:    n,
+		voq:  make([][]queue.FIFO[sim.Packet], n),
+		sent: make([][]uint64, n),
+		full: make([][]bool, n),
+		rr:   make([]int, n),
+		mid:  midstage.New(n),
+	}
+	for i := range s.voq {
+		s.voq[i] = make([]queue.FIFO[sim.Packet], n)
+		s.sent[i] = make([]uint64, n)
+		s.full[i] = make([]bool, n)
+	}
+	s.pacer = stats.NewPacer(n)
+	s.reseq = stats.NewResequencer(s.pacer)
+	return s
+}
+
+// N implements sim.Switch.
+func (s *Switch) N() int { return s.n }
+
+// Now implements sim.Switch.
+func (s *Switch) Now() sim.Slot { return s.t }
+
+// Backlog implements sim.Switch: input VOQs, center stage, the output
+// resequencing buffers, and releases waiting for an output line slot.
+func (s *Switch) Backlog() int {
+	return s.inBuf + s.mid.Backlog() + s.reseq.Held() + s.pacer.Held()
+}
+
+// MaxResequencerOccupancy reports the high-water mark of the output
+// reordering buffers (the empirical counterpart of FOFF's O(N^2) bound).
+func (s *Switch) MaxResequencerOccupancy() int { return s.reseq.MaxHeld() }
+
+// Arrive implements sim.Switch.
+func (s *Switch) Arrive(p sim.Packet) {
+	s.voq[p.In][p.Out].Push(p)
+	s.inBuf++
+}
+
+// Step implements sim.Switch. Center-stage departures flow through the
+// resequencer into the per-output pacer; the pacer then emits at most one
+// in-order packet per output for this slot, so the delivered stream
+// respects both flow order and the output line rate.
+func (s *Switch) Step(deliver sim.DeliverFunc) {
+	t := s.t
+	s.mid.Step(t, func(d sim.Delivery) { s.reseq.Observe(d) })
+	s.pacer.Drain(t, deliver)
+	for i := 0; i < s.n; i++ {
+		s.stepInput(i, t)
+	}
+	s.t++
+}
+
+// stepInput serves one slot at input i: among the VOQs whose next port is
+// the currently connected intermediate port, full ordered frames win, with
+// round-robin tie-breaking inside each class.
+func (s *Switch) stepInput(i int, t sim.Slot) {
+	l := sim.FirstStage(i, t, s.n)
+	pick := -1
+	pickClass := -1
+	for k := 0; k < s.n; k++ {
+		j := (s.rr[i] + k) % s.n
+		if s.voq[i][j].Empty() || int(s.sent[i][j]%uint64(s.n)) != l {
+			continue
+		}
+		class := s.classOf(i, j)
+		if class > pickClass {
+			pick, pickClass = j, class
+			if class == 2 {
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		return
+	}
+	j := pick
+	if s.sent[i][j]%uint64(s.n) == 0 {
+		// Frame boundary: record whether this frame starts full.
+		s.full[i][j] = s.voq[i][j].Len() >= s.n
+	}
+	p := s.voq[i][j].Pop()
+	s.sent[i][j]++
+	if s.sent[i][j]%uint64(s.n) == 0 {
+		s.full[i][j] = false // frame completed
+	}
+	s.inBuf--
+	s.rr[i] = (j + 1) % s.n
+	s.mid.Enqueue(l, p)
+}
+
+// classOf ranks a VOQ for service priority: 2 = inside a full ordered
+// frame, 1 = can start a full ordered frame now, 0 = incomplete frame.
+func (s *Switch) classOf(i, j int) int {
+	atBoundary := s.sent[i][j]%uint64(s.n) == 0
+	switch {
+	case !atBoundary && s.full[i][j]:
+		return 2
+	case atBoundary && s.voq[i][j].Len() >= s.n:
+		return 1
+	default:
+		return 0
+	}
+}

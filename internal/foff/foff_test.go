@@ -1,0 +1,154 @@
+package foff
+
+import (
+	"math/rand"
+	"testing"
+
+	"sprinklers/internal/sim"
+	"sprinklers/internal/stats"
+	"sprinklers/internal/switchtest"
+	"sprinklers/internal/traffic"
+)
+
+func TestOrderingAcrossLoads(t *testing.T) {
+	// FOFF delivers out of order internally; the embedded resequencer
+	// must hide that completely from the observer.
+	for _, load := range []float64{0.1, 0.5, 0.9} {
+		m := traffic.Uniform(16, load)
+		sw := New(16)
+		r := switchtest.Run(sw, m, 60000, 27)
+		switchtest.CheckConservation(t, sw, r)
+		switchtest.CheckOrdered(t, r)
+		switchtest.CheckThroughput(t, r, 0.9)
+	}
+}
+
+func TestOrderingDiagonalAndRandom(t *testing.T) {
+	m := traffic.Diagonal(16, 0.9)
+	sw := New(16)
+	r := switchtest.Run(sw, m, 60000, 28)
+	switchtest.CheckOrdered(t, r)
+
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 3; trial++ {
+		m := switchtest.RandomAdmissible(8, 0.85, rng)
+		sw := New(8)
+		r := switchtest.Run(sw, m, 40000, rng.Int63())
+		switchtest.CheckConservation(t, sw, r)
+		switchtest.CheckOrdered(t, r)
+	}
+}
+
+// TestLowLoadNoAccumulationWait: unlike UFS, FOFF serves partial frames, so
+// light-load delay stays near the fabric latency — the advantage Fig. 6
+// shows.
+func TestLowLoadNoAccumulationWait(t *testing.T) {
+	const n = 16
+	m := traffic.Uniform(n, 0.1)
+	sw := New(n)
+	r := switchtest.Run(sw, m, 100000, 30)
+	if mean := r.Delay.Mean(); mean > 5*n {
+		t.Fatalf("FOFF light-load delay %.0f; should be a few fabric rounds", mean)
+	}
+}
+
+// TestResequencerBoundedByN2: the paper bounds FOFF's reordering by O(N^2);
+// the resequencing buffer occupancy must stay within a small multiple of
+// N^2.
+func TestResequencerBoundedByN2(t *testing.T) {
+	const n = 16
+	m := traffic.Uniform(n, 0.95)
+	sw := New(n)
+	switchtest.Run(sw, m, 150000, 31)
+	if occ := sw.MaxResequencerOccupancy(); occ > 4*n*n {
+		t.Fatalf("resequencer occupancy %d exceeds 4*N^2 = %d", occ, 4*n*n)
+	}
+}
+
+// TestFullFramePriority: when a full frame and a lone packet compete for
+// the same service slot (both VOQs at port offset 0), the full frame wins
+// and holds the input until it completes, so all N of its packets leave the
+// input before the lone packet.
+func TestFullFramePriority(t *testing.T) {
+	// White-box: preload the VOQs so a full frame (output 0) and a lone
+	// packet (output 1, arrived "earlier") both want intermediate port 0
+	// in the very first slot. The full frame must win the tie and hold
+	// the input until it completes.
+	const n = 4
+	sw := New(n)
+	sw.Arrive(sim.Packet{In: 0, Out: 1, Seq: 0}) // lone packet, RR-earlier? no: VOQ order favors 0
+	for k := 0; k < n; k++ {
+		sw.Arrive(sim.Packet{In: 0, Out: 0, Seq: uint64(k)})
+	}
+	// Bias the round-robin pointer TOWARD the lone packet's VOQ so that
+	// only class priority, not scan order, can explain the outcome.
+	sw.rr[0] = 1
+	var frameDeparts []sim.Slot
+	var loneDepart sim.Slot
+	count := 0
+	for tt := 0; tt < 200 && count < n+1; tt++ {
+		sw.Step(func(d sim.Delivery) {
+			count++
+			if d.Packet.Out == 0 {
+				frameDeparts = append(frameDeparts, d.Depart)
+			} else {
+				loneDepart = d.Depart
+			}
+		})
+	}
+	if count != n+1 {
+		t.Fatalf("delivered %d of %d", count, n+1)
+	}
+	// The full frame won the first service slot (despite the RR bias) and
+	// held the input, so the lone packet crossed the fabric a full round
+	// later: its departure cannot precede any frame packet's.
+	for u, d := range frameDeparts {
+		if loneDepart < d {
+			t.Fatalf("lone packet departed at %d before frame packet %d at %d", loneDepart, u, d)
+		}
+		if u > 0 && d != frameDeparts[u-1]+1 {
+			t.Fatalf("frame departures %v not contiguous", frameDeparts)
+		}
+	}
+}
+
+// TestDeterministicStriping: the k-th packet of every VOQ must traverse
+// intermediate port k mod N. Observed indirectly: a flow's packets depart
+// the input in seq order at slots whose connection advances by exactly one
+// port per packet.
+func TestDeterministicStriping(t *testing.T) {
+	const n = 4
+	sw := New(n)
+	tr := traffic.NewTrace(n)
+	for k := 0; k < 2*n; k++ {
+		tr.Add(sim.Slot(k), 1, 3)
+	}
+	var count int
+	for tt := sim.Slot(0); tt < 200; tt++ {
+		tr.Next(tt, sw.Arrive)
+		sw.Step(func(d sim.Delivery) {
+			// Output 3's sweep: the packet with flow seq s sits at
+			// intermediate s mod n, so the delivery slot satisfies
+			// IntermediateFor(3, t, n) == s mod n.
+			if sim.IntermediateFor(3, d.Depart, n) != int(d.Packet.Seq)%n {
+				t.Fatalf("seq %d delivered from intermediate %d",
+					d.Packet.Seq, sim.IntermediateFor(3, d.Depart, n))
+			}
+			count++
+		})
+	}
+	if count != 2*n {
+		t.Fatalf("delivered %d of %d", count, 2*n)
+	}
+}
+
+func TestBurstyArrivalsStillOrdered(t *testing.T) {
+	m := traffic.Diagonal(8, 0.8)
+	sw := New(8)
+	src := traffic.NewOnOff(m, 20, rand.New(rand.NewSource(33)))
+	reorder := stats.NewReorder(8)
+	sim.Run(sw, src, sim.RunConfig{Warmup: 10000, Slots: 80000}, reorder)
+	if reorder.Reordered() != 0 {
+		t.Fatalf("reordered %d packets", reorder.Reordered())
+	}
+}

@@ -1,0 +1,92 @@
+// Package hashing implements the TCP-hashing scheme ("Application Flow
+// Based Routing", Sec. 2.1 of the paper): every VOQ is pinned to a single
+// intermediate port chosen by hashing, so all of a flow's packets share one
+// path and order is trivially preserved.
+//
+// The scheme is the strawman that motivates Sprinklers: because a whole
+// VOQ's rate lands on one intermediate port, an unlucky hash oversubscribes
+// a port and the switch loses throughput. The test suite and the ablation
+// benches demonstrate the instability under admissible traffic that
+// Sprinklers handles comfortably.
+package hashing
+
+import (
+	"math/rand"
+
+	"sprinklers/internal/queue"
+	"sprinklers/internal/sim"
+)
+
+// Switch is a TCP-hashing (AFBR) load-balanced switch.
+type Switch struct {
+	n       int
+	t       sim.Slot
+	hash    [][]int                    // hash[i][j]: intermediate port for VOQ (i,j)
+	inputs  [][]queue.FIFO[sim.Packet] // inputs[i][l]: packets at input i bound for intermediate l
+	mid     [][]queue.FIFO[sim.Packet] // mid[l][j]
+	backlog int
+}
+
+// New builds an n-port hashing switch. The per-VOQ intermediate port choices
+// are drawn uniformly at random from rng, modelling a hash over flow
+// identifiers.
+func New(n int, rng *rand.Rand) *Switch {
+	s := &Switch{
+		n:      n,
+		hash:   make([][]int, n),
+		inputs: make([][]queue.FIFO[sim.Packet], n),
+		mid:    make([][]queue.FIFO[sim.Packet], n),
+	}
+	for i := 0; i < n; i++ {
+		s.hash[i] = make([]int, n)
+		for j := range s.hash[i] {
+			s.hash[i][j] = rng.Intn(n)
+		}
+		s.inputs[i] = make([]queue.FIFO[sim.Packet], n)
+		s.mid[i] = make([]queue.FIFO[sim.Packet], n)
+	}
+	return s
+}
+
+// PortFor returns the intermediate port assigned to VOQ (i, j); exposed for
+// tests and for the oversubscription analysis example.
+func (s *Switch) PortFor(i, j int) int { return s.hash[i][j] }
+
+// N implements sim.Switch.
+func (s *Switch) N() int { return s.n }
+
+// Now implements sim.Switch.
+func (s *Switch) Now() sim.Slot { return s.t }
+
+// Backlog implements sim.Switch.
+func (s *Switch) Backlog() int { return s.backlog }
+
+// Arrive implements sim.Switch.
+func (s *Switch) Arrive(p sim.Packet) {
+	l := s.hash[p.In][p.Out]
+	s.inputs[p.In][l].Push(p)
+	s.backlog++
+}
+
+// Step implements sim.Switch.
+func (s *Switch) Step(deliver sim.DeliverFunc) {
+	t := s.t
+	for l := 0; l < s.n; l++ {
+		j := sim.SecondStage(l, t, s.n)
+		if q := &s.mid[l][j]; !q.Empty() {
+			p := q.Pop()
+			s.backlog--
+			if deliver != nil {
+				deliver(sim.Delivery{Packet: p, Depart: t})
+			}
+		}
+	}
+	for i := 0; i < s.n; i++ {
+		l := sim.FirstStage(i, t, s.n)
+		if q := &s.inputs[i][l]; !q.Empty() {
+			p := q.Pop()
+			s.mid[l][p.Out].Push(p)
+		}
+	}
+	s.t++
+}

@@ -1,0 +1,76 @@
+package hashing
+
+import (
+	"math/rand"
+	"testing"
+
+	"sprinklers/internal/switchtest"
+	"sprinklers/internal/traffic"
+)
+
+func TestPreservesOrder(t *testing.T) {
+	// Hashing's one virtue: all of a VOQ's packets take one path, so
+	// order holds at any load it can actually carry.
+	m := traffic.Uniform(16, 0.5)
+	sw := New(16, rand.New(rand.NewSource(2)))
+	r := switchtest.Run(sw, m, 60000, 3)
+	switchtest.CheckConservation(t, sw, r)
+	switchtest.CheckOrdered(t, r)
+}
+
+func TestHashAssignmentsFixed(t *testing.T) {
+	sw := New(16, rand.New(rand.NewSource(9)))
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			p := sw.PortFor(i, j)
+			if p < 0 || p >= 16 {
+				t.Fatalf("hash out of range: %d", p)
+			}
+			if p != sw.PortFor(i, j) {
+				t.Fatal("hash not stable")
+			}
+		}
+	}
+}
+
+// TestUnstableUnderElephants reproduces the Sec. 2.1 argument: under an
+// admissible permutation workload (each input sends its whole load to one
+// output), randomly hashed VOQs collide on intermediate ports with high
+// probability and the collided ports are oversubscribed: the backlog grows
+// linearly and throughput collapses below the offered load.
+func TestUnstableUnderElephants(t *testing.T) {
+	const n = 16
+	rng := rand.New(rand.NewSource(31))
+	m := traffic.Permutation(rng.Perm(n), 0.9)
+	sw := New(n, rand.New(rand.NewSource(32)))
+
+	// Verify a collision exists (with 16 VOQs hashed into 16 ports the
+	// no-collision probability is 16!/16^16 ~ 1e-6). Each colliding port
+	// carries k*0.9 > 1 for k >= 2 flows.
+	loads := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if m.Rate(i, j) > 0 {
+				loads[sw.PortFor(i, j)] += m.Rate(i, j)
+			}
+		}
+	}
+	over := 0
+	for _, l := range loads {
+		if l > 1 {
+			over++
+		}
+	}
+	if over == 0 {
+		t.Skip("no oversubscribed port under this seed; instability not expected")
+	}
+
+	r := switchtest.Run(sw, m, 60000, 33)
+	tp := float64(r.Delivered) / float64(r.Offered)
+	if tp > 0.98 {
+		t.Fatalf("throughput %.3f despite %d oversubscribed ports; instability not reproduced", tp, over)
+	}
+	if sw.Backlog() < 1000 {
+		t.Fatalf("backlog %d too small for an unstable switch", sw.Backlog())
+	}
+}

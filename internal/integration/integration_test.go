@@ -1,0 +1,191 @@
+// Package integration runs cross-architecture system tests: every switch
+// under every workload shape, wrapped in the conformance checker, with the
+// paper's qualitative claims asserted as invariants.
+package integration
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sprinklers/internal/conformance"
+	"sprinklers/internal/experiment"
+	"sprinklers/internal/sim"
+	"sprinklers/internal/stats"
+	"sprinklers/internal/switchtest"
+	"sprinklers/internal/traffic"
+)
+
+// TestAllSwitchesConformUnderAllTraffic is the workhorse: 7 architectures x
+// 5 workload shapes, each run under the conformance checker with ordering
+// and throughput assertions appropriate to the architecture.
+func TestAllSwitchesConformUnderAllTraffic(t *testing.T) {
+	const (
+		n     = 16
+		slots = 30000
+	)
+	for _, alg := range experiment.AllAlgorithms {
+		for _, kind := range experiment.AllTraffic {
+			alg, kind := alg, kind
+			t.Run(fmt.Sprintf("%s/%s", alg, kind), func(t *testing.T) {
+				t.Parallel()
+				// Hashing is genuinely unstable under concentrated
+				// patterns — that is its documented defect, tested
+				// separately — so cap its load.
+				load := 0.85
+				if alg == experiment.TCPHashing {
+					load = 0.3
+				}
+				rng := rand.New(rand.NewSource(1))
+				m, err := experiment.Pattern(kind, n, load, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inner, err := experiment.NewSwitch(alg, m, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sw := conformance.Wrap(inner)
+				src := traffic.NewBernoulli(m, rand.New(rand.NewSource(2)))
+				delay := &stats.Delay{}
+				reorder := stats.NewReorder(n)
+				offered, delivered := sim.Run(sw, src,
+					sim.RunConfig{Warmup: slots / 5, Slots: slots},
+					stats.Multi{delay, reorder})
+				if v := sw.Violation(); v != "" {
+					t.Fatalf("conformance violation: %s", v)
+				}
+				if alg.OrderPreserving() && reorder.Reordered() != 0 {
+					t.Fatalf("%s reordered %d packets under %s", alg, reorder.Reordered(), kind)
+				}
+				if alg != experiment.TCPHashing {
+					if tp := float64(delivered) / float64(offered); tp < 0.9 {
+						t.Fatalf("throughput %.3f", tp)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBurstyArrivalsAllOrderPreserving: the ordering guarantees must
+// survive bursty (on/off) arrivals, which stress the schedulers much
+// harder than Bernoulli traffic.
+func TestBurstyArrivalsAllOrderPreserving(t *testing.T) {
+	const n = 16
+	for _, alg := range []experiment.Algorithm{
+		experiment.UFS, experiment.FOFF, experiment.PF, experiment.Sprinklers,
+	} {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			t.Parallel()
+			m := traffic.Diagonal(n, 0.75)
+			inner, err := experiment.NewSwitch(alg, m, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sw := conformance.Wrap(inner)
+			src := traffic.NewOnOff(m, 24, rand.New(rand.NewSource(4)))
+			reorder := stats.NewReorder(n)
+			sim.Run(sw, src, sim.RunConfig{Warmup: 8000, Slots: 60000}, reorder)
+			if v := sw.Violation(); v != "" {
+				t.Fatalf("conformance violation: %s", v)
+			}
+			if reorder.Reordered() != 0 {
+				t.Fatalf("%s reordered %d packets under bursty arrivals", alg, reorder.Reordered())
+			}
+		})
+	}
+}
+
+// TestPaperDelayOrdering asserts the qualitative relationships of Figure 6
+// at two representative loads.
+func TestPaperDelayOrdering(t *testing.T) {
+	const n = 32
+	mean := func(alg experiment.Algorithm, load float64) float64 {
+		p, err := experiment.RunPoint(alg, experiment.Config{
+			N: n, Traffic: experiment.UniformTraffic, Slots: 150000, Seed: 5,
+		}, load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.MeanDelay
+	}
+	// Light load: baseline < FOFF << Sprinklers < UFS; UFS pays full-frame
+	// accumulation, an order of magnitude above Sprinklers.
+	lb, foff, spr, ufs := mean(experiment.LoadBalanced, 0.1),
+		mean(experiment.FOFF, 0.1),
+		mean(experiment.Sprinklers, 0.1),
+		mean(experiment.UFS, 0.1)
+	if !(lb < foff && foff < spr && spr < ufs) {
+		t.Fatalf("light-load ordering broken: lb=%.0f foff=%.0f sprinklers=%.0f ufs=%.0f",
+			lb, foff, spr, ufs)
+	}
+	if ufs < 4*spr {
+		t.Fatalf("UFS (%.0f) should dwarf Sprinklers (%.0f) at light load", ufs, spr)
+	}
+	// High load: Sprinklers stays in the same flat band while the baseline
+	// keeps climbing; UFS converges toward Sprinklers.
+	spr9, ufs9 := mean(experiment.Sprinklers, 0.9), mean(experiment.UFS, 0.9)
+	if spr9 > 3*spr+1500 {
+		t.Fatalf("Sprinklers not flat: %.0f at 0.1 vs %.0f at 0.9", spr, spr9)
+	}
+	if ufs9 > 3*spr9 {
+		t.Fatalf("UFS (%.0f) should approach Sprinklers (%.0f) at high load", ufs9, spr9)
+	}
+}
+
+// TestLongRunStability: at a high admissible load, backlog must stay
+// bounded over a long horizon for every stable architecture (throughput
+// ~= offered rate), catching slow leaks the short tests would miss.
+func TestLongRunStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-run test")
+	}
+	const n = 16
+	for _, alg := range experiment.Fig6Algorithms {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			t.Parallel()
+			m := traffic.Uniform(n, 0.92)
+			inner, err := experiment.NewSwitch(alg, m, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := traffic.NewBernoulli(m, rand.New(rand.NewSource(8)))
+			sim.Run(inner, src, sim.RunConfig{Slots: 200000}, nil)
+			backlogMid := inner.Backlog()
+			// Second half starting from the warm state: backlog must not
+			// grow materially.
+			end := inner.Now() + 200000
+			for inner.Now() < end {
+				src.Next(inner.Now(), inner.Arrive)
+				inner.Step(nil)
+			}
+			backlogEnd := inner.Backlog()
+			if backlogEnd > 2*backlogMid+5*n*n {
+				t.Fatalf("backlog grew %d -> %d over second half; not stable", backlogMid, backlogEnd)
+			}
+		})
+	}
+}
+
+// TestCrossSeedConsistency: the qualitative results must not be an
+// artifact of one RNG stream.
+func TestCrossSeedConsistency(t *testing.T) {
+	const n = 16
+	for seed := int64(10); seed < 13; seed++ {
+		m := switchtest.RandomAdmissible(n, 0.8, rand.New(rand.NewSource(seed)))
+		inner, err := experiment.NewSwitch(experiment.Sprinklers, m, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw := conformance.Wrap(inner)
+		r := switchtest.Run(sw, m, 40000, seed+100)
+		if v := sw.Violation(); v != "" {
+			t.Fatalf("seed %d: %s", seed, v)
+		}
+		switchtest.CheckOrdered(t, r)
+		switchtest.CheckThroughput(t, r, 0.9)
+	}
+}

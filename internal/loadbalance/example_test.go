@@ -1,0 +1,39 @@
+package loadbalance_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sprinklers/internal/loadbalance"
+	"sprinklers/internal/traffic"
+)
+
+// ExampleInputProfile computes the exact per-intermediate-port load that
+// one input's stripe assignment induces — the quantity X_l the Sec. 4
+// analysis bounds.
+func ExampleInputProfile() {
+	const n = 8
+	// One VOQ of rate 4/N^2 (stripe size 4) whose primary port is 5, so
+	// its interval is ports 4..7 with load-per-share 1/64 on each.
+	rates := make([]float64, n)
+	rates[0] = 4.0 / 64
+	primary := []int{5, 0, 1, 2, 3, 4, 6, 7}
+	p := loadbalance.InputProfile(rates, primary, n)
+	fmt.Printf("port 4 load: %.4f of the 1/N=%.4f service rate\n", p.Loads()[4], 1.0/n)
+	fmt.Printf("overloaded: %v\n", p.Overloaded())
+	// Output:
+	// port 4 load: 0.0156 of the 1/N=0.1250 service rate
+	// overloaded: false
+}
+
+// ExampleEstimate Monte-Carlo samples random stripe placements for a
+// uniform workload: with equal VOQ rates every placement balances
+// perfectly, so the overload probability is zero.
+func ExampleEstimate() {
+	const n = 32
+	rates := traffic.Uniform(n, 0.95).Row(0)
+	mc := loadbalance.Estimate(rates, n, 500, nil, rand.New(rand.NewSource(1)))
+	fmt.Printf("overloads: %d of %d placements\n", mc.Overloads, mc.Trials)
+	// Output:
+	// overloads: 0 of 500 placements
+}

@@ -1,0 +1,66 @@
+// Package midstage implements the center stage shared by the frame-based
+// load-balanced switches (UFS, FOFF, PF): every intermediate port keeps one
+// FIFO per output, and during slot t intermediate port l forwards the head
+// of the FIFO for output SecondStage(l, t). Padding cells (Packet.Fake) are
+// consumed silently at the output, as in the Padded Frames scheme.
+package midstage
+
+import (
+	"sprinklers/internal/queue"
+	"sprinklers/internal/sim"
+)
+
+// Stage is the bank of N x N per-(intermediate, output) FIFOs.
+type Stage struct {
+	n    int
+	q    [][]queue.FIFO[sim.Packet]
+	real int // non-fake packets buffered
+}
+
+// New builds the center stage for an n-port switch.
+func New(n int) *Stage {
+	s := &Stage{n: n, q: make([][]queue.FIFO[sim.Packet], n)}
+	for l := range s.q {
+		s.q[l] = make([]queue.FIFO[sim.Packet], n)
+	}
+	return s
+}
+
+// Enqueue buffers p at intermediate port l.
+func (s *Stage) Enqueue(l int, p sim.Packet) {
+	s.q[l][p.Out].Push(p)
+	if !p.Fake {
+		s.real++
+	}
+}
+
+// Step executes one slot of the second fabric: each intermediate port
+// forwards to its currently connected output. Real packets are handed to
+// deliver; fake ones vanish. It returns the number of real packets removed.
+func (s *Stage) Step(t sim.Slot, deliver sim.DeliverFunc) int {
+	removed := 0
+	for l := 0; l < s.n; l++ {
+		j := sim.SecondStage(l, t, s.n)
+		q := &s.q[l][j]
+		if q.Empty() {
+			continue
+		}
+		p := q.Pop()
+		if p.Fake {
+			continue
+		}
+		s.real--
+		removed++
+		if deliver != nil {
+			deliver(sim.Delivery{Packet: p, Depart: t})
+		}
+	}
+	return removed
+}
+
+// Backlog returns the number of real packets buffered in the stage.
+func (s *Stage) Backlog() int { return s.real }
+
+// QueueLen returns the FIFO length (including fakes) at intermediate port l
+// for output j; exported for the equal-length invariant tests.
+func (s *Stage) QueueLen(l, j int) int { return s.q[l][j].Len() }

@@ -1,0 +1,76 @@
+package midstage
+
+import (
+	"testing"
+
+	"sprinklers/internal/sim"
+)
+
+func TestFIFOPerOutputService(t *testing.T) {
+	const n = 4
+	s := New(n)
+	// Two packets for output 1 at intermediate 0; they depart in FIFO
+	// order on consecutive visits of the second fabric.
+	s.Enqueue(0, sim.Packet{Out: 1, Seq: 0})
+	s.Enqueue(0, sim.Packet{Out: 1, Seq: 1})
+	if s.Backlog() != 2 {
+		t.Fatalf("Backlog = %d", s.Backlog())
+	}
+	var got []sim.Delivery
+	for tt := sim.Slot(0); tt < 3*n; tt++ {
+		s.Step(tt, func(d sim.Delivery) { got = append(got, d) })
+	}
+	if len(got) != 2 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	if got[0].Packet.Seq != 0 || got[1].Packet.Seq != 1 {
+		t.Fatal("FIFO order violated")
+	}
+	// Intermediate 0 serves output 1 when (0 - t) mod 4 == 1, i.e. t = 3
+	// mod 4: exactly one service per round.
+	if got[1].Depart-got[0].Depart != sim.Slot(n) {
+		t.Fatalf("services %d slots apart, want %d", got[1].Depart-got[0].Depart, n)
+	}
+}
+
+func TestFakesDropped(t *testing.T) {
+	const n = 4
+	s := New(n)
+	s.Enqueue(2, sim.Packet{Out: 0, Fake: true})
+	s.Enqueue(2, sim.Packet{Out: 0})
+	if s.Backlog() != 1 {
+		t.Fatalf("Backlog = %d (fakes must not count)", s.Backlog())
+	}
+	delivered := 0
+	for tt := sim.Slot(0); tt < 3*n; tt++ {
+		s.Step(tt, func(d sim.Delivery) {
+			if d.Packet.Fake {
+				t.Fatal("fake delivered")
+			}
+			delivered++
+		})
+	}
+	if delivered != 1 || s.Backlog() != 0 {
+		t.Fatalf("delivered=%d backlog=%d", delivered, s.Backlog())
+	}
+}
+
+func TestQueueLen(t *testing.T) {
+	s := New(4)
+	s.Enqueue(1, sim.Packet{Out: 2})
+	s.Enqueue(1, sim.Packet{Out: 2, Fake: true})
+	if s.QueueLen(1, 2) != 2 {
+		t.Fatalf("QueueLen = %d, want 2 including fakes", s.QueueLen(1, 2))
+	}
+}
+
+func TestStepReturnsRemovedCount(t *testing.T) {
+	const n = 2
+	s := New(n)
+	s.Enqueue(0, sim.Packet{Out: 0})
+	s.Enqueue(1, sim.Packet{Out: 1})
+	// At t=0: intermediate 0 -> output 0, intermediate 1 -> output 1.
+	if got := s.Step(0, nil); got != 2 {
+		t.Fatalf("removed %d, want 2", got)
+	}
+}

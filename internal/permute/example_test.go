@@ -1,0 +1,23 @@
+package permute_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sprinklers/internal/permute"
+)
+
+// ExampleNewOLS builds the weakly uniform random Orthogonal Latin Square of
+// Sec. 3.3.3: every row and every column is a permutation, so the N VOQs at
+// each input AND the N VOQs toward each output all receive distinct primary
+// intermediate ports.
+func ExampleNewOLS() {
+	o := permute.NewOLS(8, rand.New(rand.NewSource(7)))
+	fmt.Println("valid OLS:", o.Valid())
+	fmt.Println("row 0 is a permutation:", permute.IsPermutation(o.Row(0)))
+	fmt.Println("col 5 is a permutation:", permute.IsPermutation(o.Col(5)))
+	// Output:
+	// valid OLS: true
+	// row 0 is a permutation: true
+	// col 5 is a permutation: true
+}

@@ -1,0 +1,150 @@
+package permute
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%64 + 1
+		_ = seed
+		return IsPermutation(Uniform(n, rng))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUniformMarginals checks that each element lands in each position with
+// roughly equal frequency — the marginal uniformity the stability analysis
+// requires of the OLS rows and columns.
+func TestUniformMarginals(t *testing.T) {
+	const (
+		n      = 8
+		trials = 40000
+	)
+	rng := rand.New(rand.NewSource(2))
+	counts := make([][]int, n)
+	for i := range counts {
+		counts[i] = make([]int, n)
+	}
+	for trial := 0; trial < trials; trial++ {
+		p := Uniform(n, rng)
+		for pos, v := range p {
+			counts[pos][v]++
+		}
+	}
+	want := float64(trials) / n
+	for pos := range counts {
+		for v, c := range counts[pos] {
+			if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+				t.Errorf("position %d value %d: count %d, want ~%.0f", pos, v, c, want)
+			}
+		}
+	}
+}
+
+func TestIsPermutationRejects(t *testing.T) {
+	bad := [][]int{
+		{0, 0},
+		{1, 2},
+		{0, 2, 2},
+		{-1, 0},
+	}
+	for _, p := range bad {
+		if IsPermutation(p) {
+			t.Errorf("IsPermutation(%v) = true", p)
+		}
+	}
+	if !IsPermutation(nil) {
+		t.Error("empty slice should be a (trivial) permutation")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		p := Uniform(16, rng)
+		inv := Inverse(p)
+		for i, v := range p {
+			if inv[v] != i {
+				t.Fatalf("Inverse broken at %d", i)
+			}
+		}
+	}
+}
+
+// TestOLSValid is the core structural property of Sec. 3.3.3: every row and
+// column of the weakly uniform random OLS is a permutation.
+func TestOLSValid(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%32 + 1
+		o := NewOLS(n, rand.New(rand.NewSource(seed)))
+		return o.Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedOLS(t *testing.T) {
+	o := FixedOLS(8)
+	if !o.Valid() {
+		t.Fatal("FixedOLS invalid")
+	}
+	if o.At(2, 3) != 5 {
+		t.Errorf("FixedOLS At(2,3) = %d, want 5", o.At(2, 3))
+	}
+}
+
+// TestOLSRowMarginalUniform verifies the "weakly uniform" property: each
+// row, over random seeds, is marginally a uniform random permutation.
+func TestOLSRowMarginalUniform(t *testing.T) {
+	const (
+		n      = 4
+		trials = 30000
+	)
+	rng := rand.New(rand.NewSource(4))
+	// counts[j][v]: how often row 1 maps column j to value v.
+	counts := make([][]int, n)
+	for j := range counts {
+		counts[j] = make([]int, n)
+	}
+	for trial := 0; trial < trials; trial++ {
+		o := NewOLS(n, rng)
+		for j := 0; j < n; j++ {
+			counts[j][o.At(1, j)]++
+		}
+	}
+	want := float64(trials) / n
+	for j := range counts {
+		for v, c := range counts[j] {
+			if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+				t.Errorf("row 1, column %d, value %d: count %d, want ~%.0f", j, v, c, want)
+			}
+		}
+	}
+}
+
+func TestOLSRowColAccessors(t *testing.T) {
+	o := NewOLS(16, rand.New(rand.NewSource(5)))
+	r := o.Row(3)
+	c := o.Col(7)
+	for j := range r {
+		if r[j] != o.At(3, j) {
+			t.Fatalf("Row mismatch at %d", j)
+		}
+	}
+	for i := range c {
+		if c[i] != o.At(i, 7) {
+			t.Fatalf("Col mismatch at %d", i)
+		}
+	}
+	if o.N() != 16 {
+		t.Fatalf("N = %d", o.N())
+	}
+}

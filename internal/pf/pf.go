@@ -1,0 +1,230 @@
+// Package pf implements the Padded Frames switch of Jaramillo, Milan and
+// Srikant (Sec. 2.2 / [9] in the paper). Like UFS it only spreads full
+// frames, which preserves packet order; unlike UFS it does not wait
+// indefinitely for a frame to fill: when no full frame exists and the
+// longest VOQ has reached a threshold T, that VOQ's packets are padded with
+// fake cells up to a full frame of N and spread anyway. Fake cells consume
+// switch capacity (they occupy center-stage queue slots and second-fabric
+// connections) but are discarded before the output, exactly as in the
+// original scheme.
+//
+// The threshold trades accumulation delay against wasted capacity; the
+// paper leaves its value unspecified. The constructor therefore accepts
+// either a fixed threshold or AdaptiveThreshold, which tracks the measured
+// input load (see its doc comment); the ablation bench sweeps fixed values
+// to expose the tradeoff.
+package pf
+
+import (
+	"sprinklers/internal/framegrid"
+	"sprinklers/internal/queue"
+	"sprinklers/internal/sim"
+)
+
+// AdaptiveThreshold selects the load-tracking padding threshold: the
+// threshold at input i follows ceil(rho_i * N) + 1 where rho_i is an EWMA
+// estimate of the input's arrival rate. A threshold sweep (see the ablation
+// bench) shows the delay-minimizing fixed threshold is approximately rho*N
+// at every load; tracking it keeps the PF delay curve flat across loads,
+// which is the behaviour the paper's Figure 6 reports for PF. Pass it (or
+// 0) to New to enable adaptation.
+const AdaptiveThreshold = 0
+
+// DefaultThreshold returns a reasonable fixed padding threshold for callers
+// that want a static configuration: half a frame.
+func DefaultThreshold(n int) int {
+	t := n / 2
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Switch is a Padded Frames switch.
+type Switch struct {
+	n         int
+	threshold int // 0 = adaptive
+	t         sim.Slot
+	// Adaptive-threshold state: per-input arrival counts and EWMA load.
+	arrivals []int64
+	loadEst  []float64
+	voq      [][]queue.FIFO[sim.Packet]
+	inputs   []inputState
+	mid      *framegrid.Stage
+	inBuf    int
+	padded   int64      // fake cells injected, for the waste ablation
+	frameSeq [][]uint64 // per-VOQ frame counter
+	nextID   uint64     // global frame identity
+}
+
+type inputState struct {
+	frame   []sim.Packet
+	pos     int
+	frameID uint64
+	flowSeq uint64
+	rr      int
+}
+
+// New builds an n-port Padded Frames switch. threshold in [1, N] fixes the
+// padding threshold; AdaptiveThreshold (0) tracks the measured input load,
+// which is the recommended configuration.
+func New(n, threshold int) *Switch {
+	if threshold < 0 || threshold > n {
+		panic("pf: threshold must be AdaptiveThreshold or in [1, N]")
+	}
+	s := &Switch{
+		n:         n,
+		threshold: threshold,
+		voq:       make([][]queue.FIFO[sim.Packet], n),
+		inputs:    make([]inputState, n),
+		mid:       framegrid.New(n),
+		frameSeq:  make([][]uint64, n),
+		arrivals:  make([]int64, n),
+		loadEst:   make([]float64, n),
+	}
+	for i := range s.voq {
+		s.voq[i] = make([]queue.FIFO[sim.Packet], n)
+		s.frameSeq[i] = make([]uint64, n)
+	}
+	return s
+}
+
+// N implements sim.Switch.
+func (s *Switch) N() int { return s.n }
+
+// Now implements sim.Switch.
+func (s *Switch) Now() sim.Slot { return s.t }
+
+// Backlog implements sim.Switch (real packets only).
+func (s *Switch) Backlog() int { return s.inBuf + s.mid.Backlog() }
+
+// PaddingInjected returns the number of fake cells spread so far.
+func (s *Switch) PaddingInjected() int64 { return s.padded }
+
+// Arrive implements sim.Switch.
+func (s *Switch) Arrive(p sim.Packet) {
+	s.voq[p.In][p.Out].Push(p)
+	s.inBuf++
+	s.arrivals[p.In]++
+}
+
+// Step implements sim.Switch.
+func (s *Switch) Step(deliver sim.DeliverFunc) {
+	t := s.t
+	s.mid.Step(t, deliver)
+	for i := 0; i < s.n; i++ {
+		s.stepInput(i, t)
+	}
+	if s.threshold == AdaptiveThreshold {
+		s.updateLoadEstimates(t)
+	}
+	s.t++
+}
+
+// loadWindow is the adaptive-threshold measurement window in units of N
+// slots.
+const loadWindow = 16
+
+// updateLoadEstimates closes a measurement window when due.
+func (s *Switch) updateLoadEstimates(t sim.Slot) {
+	window := sim.Slot(loadWindow * s.n)
+	if (t+1)%window != 0 {
+		return
+	}
+	const gamma = 0.25
+	for i := 0; i < s.n; i++ {
+		measured := float64(s.arrivals[i]) / float64(window)
+		s.arrivals[i] = 0
+		s.loadEst[i] = (1-gamma)*s.loadEst[i] + gamma*measured
+	}
+}
+
+// thresholdFor returns the padding threshold in force at input i.
+func (s *Switch) thresholdFor(i int) int {
+	if s.threshold != AdaptiveThreshold {
+		return s.threshold
+	}
+	t := int(s.loadEst[i]*float64(s.n)) + 2
+	if t > s.n-1 {
+		t = s.n - 1
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+func (s *Switch) stepInput(i int, t sim.Slot) {
+	in := &s.inputs[i]
+	if in.frame == nil {
+		s.selectFrame(i, t)
+	}
+	if in.frame == nil {
+		return
+	}
+	c := framegrid.Cell{
+		Pkt:     in.frame[in.pos],
+		FrameID: in.frameID,
+		FlowSeq: in.flowSeq,
+		Index:   in.pos,
+		Size:    len(in.frame),
+	}
+	in.pos++
+	if in.pos == len(in.frame) {
+		in.frame = nil
+	}
+	if !c.Pkt.Fake {
+		s.inBuf--
+	}
+	s.mid.Enqueue(sim.FirstStage(i, t, s.n), c)
+}
+
+func (s *Switch) selectFrame(i int, t sim.Slot) {
+	in := &s.inputs[i]
+	// Full ordered frames first, round-robin among them.
+	for k := 0; k < s.n; k++ {
+		j := (in.rr + k) % s.n
+		q := &s.voq[i][j]
+		if q.Len() < s.n {
+			continue
+		}
+		frame := make([]sim.Packet, s.n)
+		for u := range frame {
+			frame[u] = q.Pop()
+		}
+		in.startFrame(s, i, j, frame)
+		return
+	}
+	// No full frame: pad the longest VOQ if it crossed the threshold.
+	longest, best := -1, 0
+	for j := 0; j < s.n; j++ {
+		if l := s.voq[i][j].Len(); l > best {
+			best, longest = l, j
+		}
+	}
+	if longest < 0 || best < s.thresholdFor(i) {
+		return
+	}
+	q := &s.voq[i][longest]
+	frame := make([]sim.Packet, 0, s.n)
+	for !q.Empty() {
+		frame = append(frame, q.Pop())
+	}
+	for len(frame) < s.n {
+		frame = append(frame, sim.Packet{In: i, Out: longest, Fake: true, Arrival: t})
+		s.padded++
+	}
+	in.startFrame(s, i, longest, frame)
+}
+
+// startFrame installs a full (possibly padded) frame for spreading and
+// assigns its frame identity and per-flow sequence number.
+func (in *inputState) startFrame(s *Switch, i, j int, frame []sim.Packet) {
+	in.frame = frame
+	in.pos = 0
+	in.frameID = s.nextID
+	s.nextID++
+	in.flowSeq = s.frameSeq[i][j]
+	s.frameSeq[i][j]++
+	in.rr = (j + 1) % s.n
+}

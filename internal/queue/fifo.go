@@ -1,0 +1,94 @@
+// Package queue provides the queueing primitives used throughout the switch
+// implementations: an amortized O(1) ring-buffer FIFO, and the
+// N x (log2 N + 1) stripe-FIFO bank with per-row bitmaps described in
+// Sec. 3.4.2 of the paper.
+package queue
+
+// FIFO is a growable ring-buffer first-in first-out queue. The zero value is
+// an empty queue ready for use. All operations are amortized O(1) and the
+// buffer is reused across Push/Pop cycles, so steady-state operation does not
+// allocate.
+type FIFO[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// Len returns the number of queued elements.
+func (q *FIFO[T]) Len() int { return q.n }
+
+// Empty reports whether the queue holds no elements.
+func (q *FIFO[T]) Empty() bool { return q.n == 0 }
+
+// Push appends v to the tail of the queue.
+func (q *FIFO[T]) Push(v T) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+}
+
+// Pop removes and returns the head of the queue. It panics on an empty
+// queue; callers check Empty or Len first.
+func (q *FIFO[T]) Pop() T {
+	if q.n == 0 {
+		panic("queue: Pop on empty FIFO")
+	}
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // release references for GC
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return v
+}
+
+// Peek returns the head of the queue without removing it. It panics on an
+// empty queue.
+func (q *FIFO[T]) Peek() T {
+	if q.n == 0 {
+		panic("queue: Peek on empty FIFO")
+	}
+	return q.buf[q.head]
+}
+
+// PeekAt returns the i-th element from the head (0 = head) without removing
+// it. It panics if i is out of range.
+func (q *FIFO[T]) PeekAt(i int) T {
+	if i < 0 || i >= q.n {
+		panic("queue: PeekAt out of range")
+	}
+	return q.buf[(q.head+i)%len(q.buf)]
+}
+
+// RemoveAt removes and returns the i-th element from the head (0 = head),
+// shifting later elements forward. It is O(n) and exists for the frame-grid
+// center stage, which must extract a specific frame's packet from the middle
+// of a port queue. It panics if i is out of range.
+func (q *FIFO[T]) RemoveAt(i int) T {
+	if i < 0 || i >= q.n {
+		panic("queue: RemoveAt out of range")
+	}
+	v := q.buf[(q.head+i)%len(q.buf)]
+	for k := i; k > 0; k-- {
+		q.buf[(q.head+k)%len(q.buf)] = q.buf[(q.head+k-1)%len(q.buf)]
+	}
+	var zero T
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return v
+}
+
+func (q *FIFO[T]) grow() {
+	capacity := len(q.buf) * 2
+	if capacity == 0 {
+		capacity = 8
+	}
+	next := make([]T, capacity)
+	for i := 0; i < q.n; i++ {
+		next[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = next
+	q.head = 0
+}

@@ -1,0 +1,66 @@
+package sim
+
+// Source generates packet arrivals. Implementations live in internal/traffic;
+// the interface is defined here so that the engine does not depend on any
+// concrete workload.
+type Source interface {
+	// N returns the port count the source was built for.
+	N() int
+	// Next generates the arrivals for slot t, invoking emit once per
+	// packet. At most one packet may arrive per input port per slot
+	// (every port runs at speed 1).
+	Next(t Slot, emit func(Packet))
+}
+
+// Observer receives every delivery during a run. Implementations live in
+// internal/stats.
+type Observer interface {
+	Observe(Delivery)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Delivery)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(d Delivery) { f(d) }
+
+// RunConfig controls a simulation run.
+type RunConfig struct {
+	// Warmup is the number of initial slots whose deliveries are passed to
+	// the observer with Warm == false semantics: the runner simply does
+	// not forward deliveries of packets that arrived before the warmup
+	// ended. Statistics therefore cover the steady state only.
+	Warmup Slot
+	// Slots is the number of measured slots executed after the warmup.
+	Slots Slot
+}
+
+// Run drives sw with arrivals from src for cfg.Warmup+cfg.Slots slots.
+// Deliveries of packets that arrived at slot >= cfg.Warmup are forwarded to
+// obs (which may be nil). It returns the number of measured packets offered
+// and delivered, so callers can reason about residual backlog.
+func Run(sw Switch, src Source, cfg RunConfig, obs Observer) (offered, delivered int64) {
+	if sw.N() != src.N() {
+		panic("sim: switch and source port counts differ")
+	}
+	total := cfg.Warmup + cfg.Slots
+	deliver := func(d Delivery) {
+		if d.Packet.Arrival < cfg.Warmup || d.Packet.Fake {
+			return
+		}
+		delivered++
+		if obs != nil {
+			obs.Observe(d)
+		}
+	}
+	for t := Slot(0); t < total; t++ {
+		src.Next(t, func(p Packet) {
+			if p.Arrival >= cfg.Warmup {
+				offered++
+			}
+			sw.Arrive(p)
+		})
+		sw.Step(deliver)
+	}
+	return offered, delivered
+}

@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"sprinklers/internal/queue"
+	"sprinklers/internal/sim"
+)
+
+// Pacer enforces the output line rate on deliveries that come out of a
+// resequencing buffer. When a blocking packet arrives, a resequencer can
+// release a burst of successors at once, but a physical output port still
+// transmits one packet per slot — so the burst must drain over consecutive
+// slots, and that extra wait is part of the packets' real delay. Pacer
+// buffers releases per output and emits at most one per output per slot,
+// restamping each departure with its true slot.
+type Pacer struct {
+	q    []queue.FIFO[sim.Delivery]
+	held int
+}
+
+// NewPacer builds a pacer for an n-output switch.
+func NewPacer(n int) *Pacer {
+	return &Pacer{q: make([]queue.FIFO[sim.Delivery], n)}
+}
+
+// Observe implements sim.Observer: it accepts a (possibly bursty) release
+// stream.
+func (p *Pacer) Observe(d sim.Delivery) {
+	p.q[d.Packet.Out].Push(d)
+	p.held++
+}
+
+// Drain emits at most one delivery per output for slot t.
+func (p *Pacer) Drain(t sim.Slot, deliver sim.DeliverFunc) {
+	for out := range p.q {
+		q := &p.q[out]
+		if q.Empty() {
+			continue
+		}
+		d := q.Pop()
+		p.held--
+		d.Depart = t
+		if deliver != nil {
+			deliver(d)
+		}
+	}
+}
+
+// Held returns the number of deliveries waiting for an output slot.
+func (p *Pacer) Held() int { return p.held }

@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"testing"
+
+	"sprinklers/internal/sim"
+)
+
+func TestPacerSpreadsBursts(t *testing.T) {
+	p := NewPacer(4)
+	// Three packets for output 2 released in one burst at slot 10.
+	for seq := uint64(0); seq < 3; seq++ {
+		p.Observe(sim.Delivery{Packet: sim.Packet{Out: 2, Seq: seq}, Depart: 10})
+	}
+	if p.Held() != 3 {
+		t.Fatalf("Held = %d", p.Held())
+	}
+	var got []sim.Delivery
+	for tt := sim.Slot(10); tt < 16; tt++ {
+		p.Drain(tt, func(d sim.Delivery) { got = append(got, d) })
+	}
+	if len(got) != 3 {
+		t.Fatalf("drained %d", len(got))
+	}
+	for i, d := range got {
+		if d.Depart != sim.Slot(10+i) {
+			t.Fatalf("release %d at slot %d, want %d", i, d.Depart, 10+i)
+		}
+		if d.Packet.Seq != uint64(i) {
+			t.Fatalf("release order broken: seq %d at position %d", d.Packet.Seq, i)
+		}
+	}
+	if p.Held() != 0 {
+		t.Fatalf("Held = %d after drain", p.Held())
+	}
+}
+
+func TestPacerIndependentOutputs(t *testing.T) {
+	p := NewPacer(4)
+	p.Observe(sim.Delivery{Packet: sim.Packet{Out: 0}})
+	p.Observe(sim.Delivery{Packet: sim.Packet{Out: 3}})
+	count := 0
+	p.Drain(5, func(d sim.Delivery) {
+		count++
+		if d.Depart != 5 {
+			t.Fatalf("depart %d", d.Depart)
+		}
+	})
+	if count != 2 {
+		t.Fatalf("outputs should drain in parallel; got %d", count)
+	}
+}
+
+func TestPacerNilDeliver(t *testing.T) {
+	p := NewPacer(2)
+	p.Observe(sim.Delivery{Packet: sim.Packet{Out: 1}})
+	p.Drain(0, nil) // must not panic; packet still consumed
+	if p.Held() != 0 {
+		t.Fatal("nil deliver should still consume")
+	}
+}

@@ -1,0 +1,248 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sprinklers/internal/sim"
+)
+
+func TestDelayMoments(t *testing.T) {
+	var d Delay
+	samples := []sim.Slot{0, 1, 2, 3, 4, 100}
+	for _, s := range samples {
+		d.Add(s)
+	}
+	if d.Count() != 6 {
+		t.Fatalf("Count = %d", d.Count())
+	}
+	if math.Abs(d.Mean()-110.0/6) > 1e-12 {
+		t.Fatalf("Mean = %v", d.Mean())
+	}
+	if d.Min() != 0 || d.Max() != 100 {
+		t.Fatalf("Min/Max = %d/%d", d.Min(), d.Max())
+	}
+	var want float64
+	m := d.Mean()
+	for _, s := range samples {
+		want += (float64(s) - m) * (float64(s) - m)
+	}
+	want /= 6
+	if math.Abs(d.Variance()-want) > 1e-9 {
+		t.Fatalf("Variance = %v, want %v", d.Variance(), want)
+	}
+	if math.Abs(d.StdDev()-math.Sqrt(want)) > 1e-9 {
+		t.Fatalf("StdDev = %v", d.StdDev())
+	}
+}
+
+func TestDelayEmpty(t *testing.T) {
+	var d Delay
+	if d.Mean() != 0 || d.Variance() != 0 || d.Percentile(99) != 0 {
+		t.Fatal("empty Delay should report zeros")
+	}
+}
+
+// TestDelayPercentileBounds: the histogram percentile must be an upper
+// bound on the exact order statistic and within a factor of two of it.
+func TestDelayPercentileBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var d Delay
+	var raw []int
+	for k := 0; k < 20000; k++ {
+		v := int(math.Floor(math.Pow(10, rng.Float64()*4)))
+		raw = append(raw, v)
+		d.Add(sim.Slot(v))
+	}
+	sort.Ints(raw)
+	for _, p := range []float64{50, 90, 99} {
+		exact := raw[int(math.Ceil(p/100*float64(len(raw))))-1]
+		got := int(d.Percentile(p))
+		if got < exact {
+			t.Errorf("p%.0f: estimate %d below exact %d", p, got, exact)
+		}
+		if got > 2*exact+1 {
+			t.Errorf("p%.0f: estimate %d more than 2x exact %d", p, got, exact)
+		}
+	}
+}
+
+func TestDelayNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var d Delay
+	d.Add(-1)
+}
+
+func TestReorderDetection(t *testing.T) {
+	r := NewReorder(4)
+	add := func(in, out int, seq uint64) {
+		r.Add(sim.Packet{In: in, Out: out, Seq: seq})
+	}
+	add(0, 0, 0)
+	add(0, 0, 1)
+	add(0, 1, 0) // different flow, independent
+	add(0, 0, 3)
+	add(0, 0, 2) // reordered, gap 1
+	add(1, 0, 5)
+	add(1, 0, 1) // reordered, gap 4
+	if r.Reordered() != 2 {
+		t.Fatalf("Reordered = %d", r.Reordered())
+	}
+	if r.MaxGap() != 4 {
+		t.Fatalf("MaxGap = %d", r.MaxGap())
+	}
+	if r.Total() != 7 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	if math.Abs(r.Fraction()-2.0/7) > 1e-12 {
+		t.Fatalf("Fraction = %v", r.Fraction())
+	}
+}
+
+func TestReorderInOrderStreamClean(t *testing.T) {
+	r := NewReorder(2)
+	for seq := uint64(0); seq < 1000; seq++ {
+		r.Add(sim.Packet{In: 1, Out: 0, Seq: seq})
+	}
+	if r.Reordered() != 0 {
+		t.Fatal("in-order stream flagged")
+	}
+}
+
+// TestResequencerRestoresOrder: feed a flow's packets in an arbitrary
+// permutation; the output must see them in sequence order, with release
+// times never before delivery times.
+func TestResequencerRestoresOrder(t *testing.T) {
+	f := func(permSeed int64, kRaw uint8) bool {
+		k := int(kRaw)%40 + 1
+		perm := rand.New(rand.NewSource(permSeed)).Perm(k)
+		var got []uint64
+		var lastDepart sim.Slot
+		rs := NewResequencer(sim.ObserverFunc(func(d sim.Delivery) {
+			got = append(got, d.Packet.Seq)
+			if d.Depart < lastDepart {
+				return // release times must be monotone; flag via length check below
+			}
+			lastDepart = d.Depart
+		}))
+		for i, seq := range perm {
+			rs.Observe(sim.Delivery{
+				Packet: sim.Packet{In: 0, Out: 0, Seq: uint64(seq)},
+				Depart: sim.Slot(i),
+			})
+		}
+		if len(got) != k || rs.Held() != 0 {
+			return false
+		}
+		for i, seq := range got {
+			if seq != uint64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResequencerChargesWaitToDelay(t *testing.T) {
+	var releases []sim.Delivery
+	rs := NewResequencer(sim.ObserverFunc(func(d sim.Delivery) {
+		releases = append(releases, d)
+	}))
+	// Seq 1 arrives at slot 10, seq 0 at slot 50: seq 1 must be released
+	// at slot 50.
+	rs.Observe(sim.Delivery{Packet: sim.Packet{Seq: 1}, Depart: 10})
+	rs.Observe(sim.Delivery{Packet: sim.Packet{Seq: 0}, Depart: 50})
+	if len(releases) != 2 {
+		t.Fatalf("%d releases", len(releases))
+	}
+	if releases[0].Packet.Seq != 0 || releases[1].Packet.Seq != 1 {
+		t.Fatal("release order wrong")
+	}
+	if releases[1].Depart != 50 {
+		t.Fatalf("held packet released at %d, want 50", releases[1].Depart)
+	}
+	if rs.MaxHeld() != 1 {
+		t.Fatalf("MaxHeld = %d", rs.MaxHeld())
+	}
+}
+
+func TestResequencerIndependentFlows(t *testing.T) {
+	var count int
+	rs := NewResequencer(sim.ObserverFunc(func(sim.Delivery) { count++ }))
+	// Flow (0,0) is blocked on seq 0, but flow (1,1) flows through.
+	rs.Observe(sim.Delivery{Packet: sim.Packet{In: 0, Out: 0, Seq: 1}, Depart: 1})
+	rs.Observe(sim.Delivery{Packet: sim.Packet{In: 1, Out: 1, Seq: 0}, Depart: 2})
+	if count != 1 {
+		t.Fatalf("%d releases, want 1", count)
+	}
+}
+
+func TestResequencerDuplicatePanics(t *testing.T) {
+	rs := NewResequencer(sim.ObserverFunc(func(sim.Delivery) {}))
+	rs.Observe(sim.Delivery{Packet: sim.Packet{Seq: 0}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rs.Observe(sim.Delivery{Packet: sim.Packet{Seq: 0}})
+}
+
+func TestMultiFansOut(t *testing.T) {
+	var a, b int
+	m := Multi{
+		sim.ObserverFunc(func(sim.Delivery) { a++ }),
+		sim.ObserverFunc(func(sim.Delivery) { b++ }),
+	}
+	m.Observe(sim.Delivery{})
+	if a != 1 || b != 1 {
+		t.Fatal("Multi did not fan out")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	got := Quantiles(xs, 0, 0.5, 1)
+	want := []float64{1, 2.5, 4}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Quantiles = %v, want %v", got, want)
+		}
+	}
+	if z := Quantiles(nil, 0.5); z[0] != 0 {
+		t.Fatal("empty quantiles should be zero")
+	}
+}
+
+func TestDelayStreamingQuantiles(t *testing.T) {
+	var d Delay
+	if d.Median() != 0 || d.P99() != 0 {
+		t.Fatal("empty streaming quantiles should be 0")
+	}
+	rng := rand.New(rand.NewSource(31))
+	var raw []int
+	for k := 0; k < 50000; k++ {
+		v := rng.Intn(1000)
+		raw = append(raw, v)
+		d.Add(sim.Slot(v))
+	}
+	sort.Ints(raw)
+	med := float64(raw[len(raw)/2])
+	p99 := float64(raw[int(0.99*float64(len(raw)))])
+	if math.Abs(d.Median()-med) > 0.05*med+5 {
+		t.Fatalf("Median %v vs exact %v", d.Median(), med)
+	}
+	if math.Abs(d.P99()-p99) > 0.05*p99+5 {
+		t.Fatalf("P99 %v vs exact %v", d.P99(), p99)
+	}
+}

@@ -1,0 +1,98 @@
+// Package switchtest provides shared helpers for testing switch
+// implementations: randomized admissible workloads, packet-conservation
+// checks, ordering checks and throughput sanity checks. It is imported only
+// by test files.
+package switchtest
+
+import (
+	"math/rand"
+	"testing"
+
+	"sprinklers/internal/sim"
+	"sprinklers/internal/stats"
+	"sprinklers/internal/traffic"
+)
+
+// Result summarizes a test run.
+type Result struct {
+	Offered   int64
+	Delivered int64
+	Delay     *stats.Delay
+	Reorder   *stats.Reorder
+}
+
+// Run drives sw with Bernoulli arrivals from m for the given number of
+// slots (after a warmup of slots/10) and returns the measured statistics.
+func Run(sw sim.Switch, m *traffic.Matrix, slots sim.Slot, seed int64) Result {
+	src := traffic.NewBernoulli(m, rand.New(rand.NewSource(seed)))
+	delay := &stats.Delay{}
+	reorder := stats.NewReorder(m.N())
+	obs := stats.Multi{delay, reorder}
+	offered, delivered := sim.Run(sw, src, sim.RunConfig{Warmup: slots / 10, Slots: slots}, obs)
+	return Result{Offered: offered, Delivered: delivered, Delay: delay, Reorder: reorder}
+}
+
+// CheckConservation verifies that every offered packet is either delivered
+// or still buffered in the switch. Because the runner only counts packets
+// arriving after the warmup, the switch backlog may also contain warmup
+// packets, so the check is: delivered <= offered and offered - delivered <=
+// backlog.
+func CheckConservation(t *testing.T, sw sim.Switch, r Result) {
+	t.Helper()
+	if r.Delivered > r.Offered {
+		t.Fatalf("delivered %d packets but only %d were offered", r.Delivered, r.Offered)
+	}
+	if missing := r.Offered - r.Delivered; missing > int64(sw.Backlog()) {
+		t.Fatalf("conservation violated: %d measured packets unaccounted for (backlog %d)",
+			missing, sw.Backlog())
+	}
+}
+
+// CheckOrdered fails the test if any delivery was out of per-flow order.
+func CheckOrdered(t *testing.T, r Result) {
+	t.Helper()
+	if n := r.Reorder.Reordered(); n != 0 {
+		t.Fatalf("switch reordered %d of %d packets (max seq gap %d)",
+			n, r.Reorder.Total(), r.Reorder.MaxGap())
+	}
+}
+
+// CheckThroughput fails the test unless at least frac of the offered
+// packets were delivered.
+func CheckThroughput(t *testing.T, r Result, frac float64) {
+	t.Helper()
+	if r.Offered == 0 {
+		t.Fatal("no packets offered; workload misconfigured")
+	}
+	got := float64(r.Delivered) / float64(r.Offered)
+	if got < frac {
+		t.Fatalf("throughput %.3f below required %.3f (offered %d, delivered %d)",
+			got, frac, r.Offered, r.Delivered)
+	}
+}
+
+// RandomAdmissible builds a random admissible rate matrix with every row
+// and column sum at most load: it scales a random doubly-substochastic
+// matrix built from a mixture of random permutation matrices (a truncated
+// Birkhoff decomposition).
+func RandomAdmissible(n int, load float64, rng *rand.Rand) *traffic.Matrix {
+	rates := make([][]float64, n)
+	for i := range rates {
+		rates[i] = make([]float64, n)
+	}
+	// Mix a handful of random permutations with random convex weights.
+	k := 4
+	weights := make([]float64, k)
+	var total float64
+	for i := range weights {
+		weights[i] = rng.Float64() + 0.1
+		total += weights[i]
+	}
+	for _, w := range weights {
+		perm := rng.Perm(n)
+		for i, j := range perm {
+			rates[i][j] += load * w / total
+		}
+	}
+	return traffic.NewMatrix(rates)
+}

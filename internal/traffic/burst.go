@@ -1,0 +1,142 @@
+package traffic
+
+import (
+	"math/rand"
+
+	"sprinklers/internal/sim"
+)
+
+// OnOff is a bursty Markov-modulated arrival process: each input alternates
+// between an ON state, during which a packet arrives every slot, and an OFF
+// state with no arrivals. Mean burst and idle lengths are geometric. The
+// long-term rate of input i equals meanOn/(meanOn+meanOff); destinations are
+// drawn from the rate matrix's conditional row distribution, so the matrix
+// fixes per-VOQ rates while OnOff controls burstiness. It stresses the
+// schedulers far harder than the Bernoulli process at the same load.
+type OnOff struct {
+	n      int
+	rng    *rand.Rand
+	on     []bool
+	pOnOff float64 // P(ON -> OFF) per slot
+	pOffOn []float64
+	alias  []aliasTable
+	seq    [][]uint64
+	nextID uint64
+}
+
+// NewOnOff builds an on/off source whose per-input load matches m's row sums
+// and whose mean burst length is meanBurst slots. meanBurst must be >= 1.
+func NewOnOff(m *Matrix, meanBurst float64, rng *rand.Rand) *OnOff {
+	if meanBurst < 1 {
+		panic("traffic: mean burst length must be >= 1")
+	}
+	n := m.N()
+	src := &OnOff{
+		n:      n,
+		rng:    rng,
+		on:     make([]bool, n),
+		pOnOff: 1 / meanBurst,
+		pOffOn: make([]float64, n),
+		alias:  make([]aliasTable, n),
+		seq:    make([][]uint64, n),
+	}
+	for i := 0; i < n; i++ {
+		load := m.RowSum(i)
+		if load >= 1 {
+			load = 1 - 1e-9
+		}
+		// Solve meanOn/(meanOn+meanOff) = load with meanOn = meanBurst:
+		// meanOff = meanBurst*(1-load)/load.
+		if load > 0 {
+			meanOff := meanBurst * (1 - load) / load
+			src.pOffOn[i] = 1 / meanOff
+		}
+		row := m.Row(i)
+		src.alias[i] = newAliasTable(row)
+		src.seq[i] = make([]uint64, n)
+	}
+	return src
+}
+
+// N implements sim.Source.
+func (o *OnOff) N() int { return o.n }
+
+// Next implements sim.Source.
+func (o *OnOff) Next(t sim.Slot, emit func(sim.Packet)) {
+	for i := 0; i < o.n; i++ {
+		if o.on[i] {
+			if o.rng.Float64() < o.pOnOff {
+				o.on[i] = false
+			}
+		} else if o.pOffOn[i] > 0 && o.rng.Float64() < o.pOffOn[i] {
+			o.on[i] = true
+		}
+		if !o.on[i] {
+			continue
+		}
+		j := o.alias[i].draw(o.rng)
+		emit(sim.Packet{
+			ID:      o.nextID,
+			In:      i,
+			Out:     j,
+			Seq:     o.seq[i][j],
+			Arrival: t,
+		})
+		o.nextID++
+		o.seq[i][j]++
+	}
+}
+
+// Trace replays a fixed arrival schedule. It is used by deterministic tests
+// that need exact control over which packet arrives when.
+type Trace struct {
+	n      int
+	bySlot map[sim.Slot][]sim.Packet
+	seq    [][]uint64
+	nextID uint64
+}
+
+// NewTrace builds an empty trace source for an n-port switch.
+func NewTrace(n int) *Trace {
+	return &Trace{n: n, bySlot: make(map[sim.Slot][]sim.Packet), seq: newSeq(n)}
+}
+
+func newSeq(n int) [][]uint64 {
+	s := make([][]uint64, n)
+	for i := range s {
+		s[i] = make([]uint64, n)
+	}
+	return s
+}
+
+// Add schedules the arrival of one packet from input in to output out at
+// slot t, assigning IDs and per-flow sequence numbers automatically. Packets
+// added for the same (slot, input) pair beyond the first violate the speed-1
+// port model and cause a panic.
+func (tr *Trace) Add(t sim.Slot, in, out int) {
+	for _, p := range tr.bySlot[t] {
+		if p.In == in {
+			panic("traffic: two arrivals at one input in one slot")
+		}
+	}
+	p := sim.Packet{
+		ID:      tr.nextID,
+		In:      in,
+		Out:     out,
+		Seq:     tr.seq[in][out],
+		Arrival: t,
+	}
+	tr.nextID++
+	tr.seq[in][out]++
+	tr.bySlot[t] = append(tr.bySlot[t], p)
+}
+
+// N implements sim.Source.
+func (tr *Trace) N() int { return tr.n }
+
+// Next implements sim.Source.
+func (tr *Trace) Next(t sim.Slot, emit func(sim.Packet)) {
+	for _, p := range tr.bySlot[t] {
+		emit(p)
+	}
+}

@@ -1,0 +1,148 @@
+package traffic
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"sprinklers/internal/sim"
+)
+
+// Trace recording and replay. A recorded workload makes cross-language or
+// cross-version comparisons exact: two switches driven by the same trace
+// file see byte-identical arrival sequences. The format is a compact
+// little-endian binary stream:
+//
+//	header:  magic "SPRK" | u16 version | u16 N
+//	record:  u64 slot | u16 in | u16 out  (packet IDs and per-flow sequence
+//	         numbers are reassigned densely on replay)
+//	footer:  implicit EOF
+const (
+	traceMagic   = "SPRK"
+	traceVersion = 1
+)
+
+// Recorder tees a source's arrivals into an io.Writer in trace format while
+// passing them through unchanged.
+type Recorder struct {
+	src sim.Source
+	w   *bufio.Writer
+	err error
+}
+
+// NewRecorder wraps src, writing every arrival to w. Call Flush when done.
+func NewRecorder(src sim.Source, w io.Writer) (*Recorder, error) {
+	r := &Recorder{src: src, w: bufio.NewWriter(w)}
+	if _, err := r.w.WriteString(traceMagic); err != nil {
+		return nil, err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], traceVersion)
+	binary.LittleEndian.PutUint16(hdr[2:4], uint16(src.N()))
+	if _, err := r.w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// N implements sim.Source.
+func (r *Recorder) N() int { return r.src.N() }
+
+// Next implements sim.Source, recording as it emits.
+func (r *Recorder) Next(t sim.Slot, emit func(sim.Packet)) {
+	r.src.Next(t, func(p sim.Packet) {
+		if r.err == nil {
+			var rec [12]byte
+			binary.LittleEndian.PutUint64(rec[0:8], uint64(p.Arrival))
+			binary.LittleEndian.PutUint16(rec[8:10], uint16(p.In))
+			binary.LittleEndian.PutUint16(rec[10:12], uint16(p.Out))
+			if _, err := r.w.Write(rec[:]); err != nil {
+				r.err = err
+			}
+		}
+		emit(p)
+	})
+}
+
+// Flush flushes the underlying writer and reports any recording error.
+func (r *Recorder) Flush() error {
+	if r.err != nil {
+		return r.err
+	}
+	return r.w.Flush()
+}
+
+// Replayer replays a recorded trace as a sim.Source. The whole trace is
+// loaded eagerly; traces are a few MB for typical horizons.
+type Replayer struct {
+	n      int
+	bySlot map[sim.Slot][]sim.Packet
+	seq    [][]uint64
+	nextID uint64
+	count  int
+}
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("traffic: malformed trace")
+
+// NewReplayer parses a trace stream written by a Recorder.
+func NewReplayer(rd io.Reader) (*Replayer, error) {
+	br := bufio.NewReader(rd)
+	head := make([]byte, 8)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadTrace, err)
+	}
+	if string(head[:4]) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, head[:4])
+	}
+	if v := binary.LittleEndian.Uint16(head[4:6]); v != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+	}
+	n := int(binary.LittleEndian.Uint16(head[6:8]))
+	if n == 0 {
+		return nil, fmt.Errorf("%w: zero port count", ErrBadTrace)
+	}
+	rp := &Replayer{n: n, bySlot: make(map[sim.Slot][]sim.Packet), seq: newSeq(n)}
+	var rec [12]byte
+	for {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("%w: truncated record: %v", ErrBadTrace, err)
+		}
+		slot := sim.Slot(binary.LittleEndian.Uint64(rec[0:8]))
+		in := int(binary.LittleEndian.Uint16(rec[8:10]))
+		out := int(binary.LittleEndian.Uint16(rec[10:12]))
+		if in >= n || out >= n {
+			return nil, fmt.Errorf("%w: ports (%d,%d) out of range for N=%d", ErrBadTrace, in, out, n)
+		}
+		p := sim.Packet{
+			ID:      rp.nextID,
+			In:      in,
+			Out:     out,
+			Seq:     rp.seq[in][out],
+			Arrival: slot,
+		}
+		rp.nextID++
+		rp.seq[in][out]++
+		rp.bySlot[slot] = append(rp.bySlot[slot], p)
+		rp.count++
+	}
+	return rp, nil
+}
+
+// Len returns the number of recorded packets.
+func (rp *Replayer) Len() int { return rp.count }
+
+// N implements sim.Source.
+func (rp *Replayer) N() int { return rp.n }
+
+// Next implements sim.Source.
+func (rp *Replayer) Next(t sim.Slot, emit func(sim.Packet)) {
+	for _, p := range rp.bySlot[t] {
+		emit(p)
+	}
+}

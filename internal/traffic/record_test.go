@@ -1,0 +1,118 @@
+package traffic
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sprinklers/internal/sim"
+)
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	const (
+		n     = 8
+		slots = 5000
+	)
+	m := Diagonal(n, 0.6)
+	src := NewBernoulli(m, rand.New(rand.NewSource(71)))
+	var buf bytes.Buffer
+	rec, err := NewRecorder(src, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type arrival struct {
+		slot    sim.Slot
+		in, out int
+	}
+	var want []arrival
+	for tt := sim.Slot(0); tt < slots; tt++ {
+		rec.Next(tt, func(p sim.Packet) {
+			want = append(want, arrival{tt, p.In, p.Out})
+		})
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rp, err := NewReplayer(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.N() != n {
+		t.Fatalf("replayer N = %d", rp.N())
+	}
+	if rp.Len() != len(want) {
+		t.Fatalf("replayer has %d packets, recorded %d", rp.Len(), len(want))
+	}
+	var got []arrival
+	seq := map[[2]int]uint64{}
+	ids := map[uint64]bool{}
+	for tt := sim.Slot(0); tt < slots; tt++ {
+		rp.Next(tt, func(p sim.Packet) {
+			got = append(got, arrival{tt, p.In, p.Out})
+			k := [2]int{p.In, p.Out}
+			if p.Seq != seq[k] {
+				t.Fatalf("replayed seq %d for flow %v, want %d", p.Seq, k, seq[k])
+			}
+			seq[k]++
+			if ids[p.ID] {
+				t.Fatalf("duplicate replayed ID %d", p.ID)
+			}
+			ids[p.ID] = true
+			if p.Arrival != tt {
+				t.Fatalf("replayed arrival %d at slot %d", p.Arrival, tt)
+			}
+		})
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d arrivals, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("arrival %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReplayerRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("NOPE\x01\x00\x08\x00"),
+		"bad version": []byte("SPRK\x09\x00\x08\x00"),
+		"zero ports":  []byte("SPRK\x01\x00\x00\x00"),
+		"truncated":   append([]byte("SPRK\x01\x00\x08\x00"), 1, 2, 3),
+		"bad ports": append([]byte("SPRK\x01\x00\x02\x00"),
+			0, 0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0),
+	}
+	for name, data := range cases {
+		if _, err := NewReplayer(bytes.NewReader(data)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("%s: error = %v, want ErrBadTrace", name, err)
+		}
+	}
+}
+
+func TestRecorderPassthroughUnchanged(t *testing.T) {
+	// The recorder must not perturb the packets it forwards.
+	m := Uniform(4, 0.5)
+	plain := NewBernoulli(m, rand.New(rand.NewSource(5)))
+	recorded := NewBernoulli(m, rand.New(rand.NewSource(5)))
+	var buf bytes.Buffer
+	rec, err := NewRecorder(recorded, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := sim.Slot(0); tt < 2000; tt++ {
+		var a, b []sim.Packet
+		plain.Next(tt, func(p sim.Packet) { a = append(a, p) })
+		rec.Next(tt, func(p sim.Packet) { b = append(b, p) })
+		if len(a) != len(b) {
+			t.Fatalf("slot %d: %d vs %d arrivals", tt, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("slot %d: packet %d differs", tt, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package traffic
+
+import (
+	"math/rand"
+
+	"sprinklers/internal/sim"
+)
+
+// Bernoulli is the arrival process used throughout the paper's evaluation:
+// in every slot, input port i independently receives one packet with
+// probability equal to its row sum, and the packet's destination is drawn
+// from the row's conditional distribution. Destination sampling uses Walker
+// alias tables so a draw is O(1) regardless of N.
+type Bernoulli struct {
+	n      int
+	rng    *rand.Rand
+	prob   []float64 // arrival probability per input
+	alias  []aliasTable
+	seq    [][]uint64 // per-(i,j) sequence numbers
+	nextID uint64
+}
+
+// NewBernoulli builds the Bernoulli source for rate matrix m, drawing all
+// randomness from rng. The same seed reproduces the same packet trace.
+func NewBernoulli(m *Matrix, rng *rand.Rand) *Bernoulli {
+	n := m.N()
+	src := &Bernoulli{
+		n:     n,
+		rng:   rng,
+		prob:  make([]float64, n),
+		alias: make([]aliasTable, n),
+		seq:   make([][]uint64, n),
+	}
+	for i := 0; i < n; i++ {
+		src.prob[i] = m.RowSum(i)
+		src.seq[i] = make([]uint64, n)
+		row := m.Row(i)
+		if src.prob[i] > 0 {
+			for j := range row {
+				row[j] /= src.prob[i]
+			}
+		}
+		src.alias[i] = newAliasTable(row)
+	}
+	return src
+}
+
+// N implements sim.Source.
+func (b *Bernoulli) N() int { return b.n }
+
+// Next implements sim.Source: it emits the slot-t arrivals.
+func (b *Bernoulli) Next(t sim.Slot, emit func(sim.Packet)) {
+	for i := 0; i < b.n; i++ {
+		if b.prob[i] == 0 || b.rng.Float64() >= b.prob[i] {
+			continue
+		}
+		j := b.alias[i].draw(b.rng)
+		p := sim.Packet{
+			ID:      b.nextID,
+			In:      i,
+			Out:     j,
+			Seq:     b.seq[i][j],
+			Arrival: t,
+		}
+		b.nextID++
+		b.seq[i][j]++
+		emit(p)
+	}
+}
+
+// aliasTable implements Walker's alias method for O(1) sampling from a
+// discrete distribution.
+type aliasTable struct {
+	prob  []float64
+	alias []int
+}
+
+func newAliasTable(weights []float64) aliasTable {
+	n := len(weights)
+	t := aliasTable{prob: make([]float64, n), alias: make([]int, n)}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		// Degenerate all-zero row: sample uniformly (the row is never
+		// drawn because its arrival probability is zero).
+		for i := range t.prob {
+			t.prob[i] = 1
+			t.alias[i] = i
+		}
+		return t
+	}
+	scaled := make([]float64, n)
+	var small, large []int
+	for i, w := range weights {
+		scaled[i] = w / total * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	for _, i := range large {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	for _, i := range small {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	return t
+}
+
+func (t aliasTable) draw(rng *rand.Rand) int {
+	i := rng.Intn(len(t.prob))
+	if rng.Float64() < t.prob[i] {
+		return i
+	}
+	return t.alias[i]
+}

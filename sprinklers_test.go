@@ -1,0 +1,76 @@
+package sprinklers_test
+
+import (
+	"math"
+	"testing"
+
+	"sprinklers"
+	"sprinklers/internal/baseline"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	m := sprinklers.Diagonal(16, 0.7)
+	sw := sprinklers.MustNew(sprinklers.ConfigFromMatrix(m, 1))
+	delay := sprinklers.RunBernoulli(sw, m, 40000, 2)
+	if delay.Count() == 0 {
+		t.Fatal("no packets delivered")
+	}
+	if delay.Mean() <= 0 {
+		t.Fatal("mean delay must be positive")
+	}
+}
+
+func TestConfigFromMatrix(t *testing.T) {
+	m := sprinklers.Uniform(8, 0.5)
+	cfg := sprinklers.ConfigFromMatrix(m, 3)
+	if cfg.N != 8 || cfg.Scheduler != sprinklers.GatedLSF || cfg.Rand == nil {
+		t.Fatalf("config wrong: %+v", cfg)
+	}
+	if cfg.Rates[2][3] != 0.5/8 {
+		t.Fatalf("rates not copied: %v", cfg.Rates[2][3])
+	}
+}
+
+// TestRunBernoulliPanicsOnReordering: the convenience runner enforces the
+// ordering contract; feeding it the baseline switch (which reorders) must
+// panic.
+func TestRunBernoulliPanicsOnReordering(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for a reordering switch")
+		}
+	}()
+	m := sprinklers.Uniform(16, 0.9)
+	sprinklers.RunBernoulli(baseline.New(16), m, 30000, 4)
+}
+
+func TestAnalysisReexports(t *testing.T) {
+	if got := sprinklers.OverloadFeasibilityThreshold(1024); math.Abs(got-(2.0/3.0+1.0/(3.0*1024*1024))) > 1e-15 {
+		t.Fatalf("threshold = %v", got)
+	}
+	if p := sprinklers.QueueOverloadBound(2048, 0.93); math.Abs(p-3.09e-18)/3.09e-18 > 0.05 {
+		t.Fatalf("Table 1 entry via facade = %v", p)
+	}
+	if sprinklers.LogQueueOverloadBound(1024, 0.5) != math.Inf(-1) {
+		t.Fatal("below-threshold bound should be -inf")
+	}
+	if sprinklers.SwitchOverloadBound(1024, 0.5) != 0 {
+		t.Fatal("below-threshold switch bound should be 0")
+	}
+	if d := sprinklers.ExpectedIntermediateDelay(1000, 0.9); math.Abs(d-4495.5) > 1e-9 {
+		t.Fatalf("Fig 5 point via facade = %v", d)
+	}
+}
+
+func TestGreedyVariantAvailable(t *testing.T) {
+	m := sprinklers.Uniform(8, 0.4)
+	cfg := sprinklers.ConfigFromMatrix(m, 5)
+	cfg.Scheduler = sprinklers.GreedyLSF
+	sw, err := sprinklers.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.N() != 8 {
+		t.Fatal("greedy switch broken")
+	}
+}
