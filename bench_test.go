@@ -145,10 +145,7 @@ func BenchmarkAblationPFThreshold(b *testing.B) {
 // the VOQ rates genuinely differ.
 func BenchmarkAblationStripeSizing(b *testing.B) {
 	m := traffic.Zipf(benchN, 0.9, 1.2)
-	rates := make([][]float64, benchN)
-	for i := range rates {
-		rates[i] = m.Row(i)
-	}
+	rates := m.Rows()
 	run := func(b *testing.B, cfg core.Config) {
 		var mean, tput float64
 		for i := 0; i < b.N; i++ {
@@ -182,10 +179,7 @@ func BenchmarkAblationStripeSizing(b *testing.B) {
 // high load the collision shows up as throughput loss and growing backlog.
 func BenchmarkAblationPlacement(b *testing.B) {
 	m := traffic.Diagonal(benchN, 0.95)
-	rates := make([][]float64, benchN)
-	for i := range rates {
-		rates[i] = m.Row(i)
-	}
+	rates := m.Rows()
 	for _, placement := range []core.Placement{core.PlacementOLS, core.PlacementIndependent} {
 		b.Run(placement.String(), func(b *testing.B) {
 			var tput, backlog float64
@@ -237,10 +231,7 @@ func BenchmarkExtensionSizeSweep(b *testing.B) {
 // suffers, so the net effect is an informative extension measurement.
 func BenchmarkExtensionBurstiness(b *testing.B) {
 	m := traffic.Uniform(benchN, 0.8)
-	rates := make([][]float64, benchN)
-	for i := range rates {
-		rates[i] = m.Row(i)
-	}
+	rates := m.Rows()
 	run := func(b *testing.B, burst float64) {
 		var mean float64
 		var reordered int64
@@ -268,41 +259,117 @@ func BenchmarkExtensionBurstiness(b *testing.B) {
 	}
 }
 
+// steppedSwitch is a switch/source pair already driven past its warmup
+// transient, ready for steady-state step measurement.
+type steppedSwitch struct {
+	sw  sim.Switch
+	src sim.Source
+}
+
+// stepBenchCache memoizes warmed-up switches per (algorithm, size) so the
+// benchmark framework's iteration-count escalations (which re-invoke the
+// benchmark function) do not repeat the warmup; the simulation simply keeps
+// advancing from wherever the previous escalation left it, which is exactly
+// the steady state being measured.
+var stepBenchCache = map[string]steppedSwitch{}
+
+// steadySwitch builds the switch/source pair with build and steps it through
+// warmup slots, so ring buffers have grown to their working-set capacities
+// and stripe pools are populated before measurement starts.
+func steadySwitch(b *testing.B, key string, warmup int, build func() (sim.Switch, sim.Source)) steppedSwitch {
+	b.Helper()
+	if s, ok := stepBenchCache[key]; ok {
+		return s
+	}
+	sw, src := build()
+	arrive := sw.Arrive
+	for i := 0; i < warmup; i++ {
+		src.Next(sw.Now(), arrive)
+		sw.Step(nil)
+	}
+	s := steppedSwitch{sw: sw, src: src}
+	stepBenchCache[key] = s
+	return s
+}
+
+// largeSprinklers builds an n-port gated Sprinklers switch for the step
+// benchmarks: uniform Bernoulli traffic at load 0.9 with explicit size-1
+// stripes. Eq. 1 sizing is deliberately NOT used here: at load 0.9 it
+// assigns every VOQ a stripe of size N, whose accumulation working set is
+// ~0.45*N^2 packets reached only after ~N^2/2 slots — at N=1024 that is
+// tens of gigabytes and a million-slot transient, so a benchmark horizon
+// only ever measures ready-ring growth, not switching. Size-1 stripes give
+// the same per-slot machinery (fabric sweeps, LSF scans, center-stage
+// arena, stripe pool) a steady state that is reached within ~10N slots and
+// must then be allocation-free. The full Eq. 1 accumulation regime is
+// covered by BenchmarkSwitchStep at N=32, where it converges.
+func largeSprinklers(n int) (sim.Switch, sim.Source) {
+	sw := core.MustNew(core.Config{
+		N:                 n,
+		DefaultStripeSize: 1,
+		Rand:              rand.New(rand.NewSource(1)),
+	})
+	m := traffic.Uniform(n, 0.9)
+	return sw, traffic.NewBernoulli(m, rand.New(rand.NewSource(1)))
+}
+
+// stepLoop drives one slot per benchmark iteration. The arrive callback is
+// bound once outside the loop — rebinding sw.Arrive per slot would itself
+// heap-allocate a method value and mask the switch's own allocation story.
+func stepLoop(b *testing.B, s steppedSwitch) {
+	b.Helper()
+	arrive := s.sw.Arrive
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.src.Next(s.sw.Now(), arrive)
+		s.sw.Step(nil)
+	}
+}
+
 // BenchmarkSwitchStep measures raw simulation speed: slots per second for
 // each architecture at N=32, load 0.9 (the cost of one Step includes both
 // fabrics and all ports).
 func BenchmarkSwitchStep(b *testing.B) {
 	for _, alg := range experiment.AllAlgorithms {
 		b.Run(string(alg), func(b *testing.B) {
-			m := traffic.Uniform(benchN, 0.9)
-			sw, err := experiment.NewSwitch(alg, m, 1)
-			if err != nil {
-				b.Fatal(err)
-			}
-			src := traffic.NewBernoulli(m, rand.New(rand.NewSource(1)))
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				src.Next(sw.Now(), sw.Arrive)
-				sw.Step(nil)
-			}
+			s := steadySwitch(b, string(alg), 4096, func() (sim.Switch, sim.Source) {
+				m := traffic.Uniform(benchN, 0.9)
+				sw, err := experiment.NewSwitch(alg, m, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return sw, traffic.NewBernoulli(m, rand.New(rand.NewSource(1)))
+			})
+			stepLoop(b, s)
 		})
 	}
 }
 
 // BenchmarkLargeSwitchStep checks that a 1024-port Sprinklers switch still
-// steps fast (scalability of the constant-time per-port algorithms).
+// steps fast (scalability of the constant-time per-port algorithms) and,
+// with the pooled/arena-backed hot path, allocation-free in steady state.
 func BenchmarkLargeSwitchStep(b *testing.B) {
 	const n = 1024
-	m := traffic.Uniform(n, 0.9)
-	sw, err := experiment.NewSwitch(experiment.Sprinklers, m, 1)
-	if err != nil {
-		b.Fatal(err)
-	}
-	src := traffic.NewBernoulli(m, rand.New(rand.NewSource(1)))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		src.Next(sw.Now(), sw.Arrive)
-		sw.Step(nil)
+	stepLoop(b, steadySwitch(b, "large-1024", 12*n, func() (sim.Switch, sim.Source) {
+		return largeSprinklers(n)
+	}))
+}
+
+// BenchmarkSizeSweepStep tracks per-slot stepping cost and allocation count
+// across switch sizes, so the perf trajectory of the simulator itself (not
+// the simulated delay) is visible from one benchtable. Each size warms up
+// past its FIFO-growth transient before measurement; in steady state every
+// size must report 0 allocs/op. The N=4096 point allocates a multi-gigabyte
+// center-stage arena — run it on a machine with memory to spare.
+func BenchmarkSizeSweepStep(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("N-%d", n), func(b *testing.B) {
+			n := n
+			stepLoop(b, steadySwitch(b, fmt.Sprintf("large-%d", n), 12*n, func() (sim.Switch, sim.Source) {
+				return largeSprinklers(n)
+			}))
+		})
 	}
 }
 

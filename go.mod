@@ -1,0 +1,3 @@
+module sprinklers
+
+go 1.24

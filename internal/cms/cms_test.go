@@ -136,7 +136,7 @@ type detector struct {
 func newDetector() *detector { return &detector{seen: map[[2]int]int64{}} }
 
 func (d *detector) Observe(dv sim.Delivery) {
-	k := [2]int{dv.Packet.In, dv.Packet.Out}
+	k := [2]int{int(dv.Packet.In), int(dv.Packet.Out)}
 	if prev, ok := d.seen[k]; ok && int64(dv.Packet.Seq) < prev {
 		d.bad++
 		return

@@ -91,10 +91,10 @@ func (c *Checker) Step(deliver sim.DeliverFunc) {
 		if d.Depart != now {
 			c.fail("slot %d: departure stamped %d", now, d.Depart)
 		}
-		if outputsUsed[d.Packet.Out] {
+		if outputsUsed[int(d.Packet.Out)] {
 			c.fail("slot %d: output %d used twice", now, d.Packet.Out)
 		}
-		outputsUsed[d.Packet.Out] = true
+		outputsUsed[int(d.Packet.Out)] = true
 		if d.Packet.Fake {
 			c.fail("slot %d: fake packet delivered", now)
 		} else {

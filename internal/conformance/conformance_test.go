@@ -24,8 +24,8 @@ func (s *okSwitch) Step(deliver sim.DeliverFunc) {
 	used := map[int]bool{}
 	var rest []sim.Packet
 	for _, p := range s.pending {
-		if !used[p.Out] && p.Arrival < s.t {
-			used[p.Out] = true
+		if !used[int(p.Out)] && p.Arrival < s.t {
+			used[int(p.Out)] = true
 			if deliver != nil {
 				deliver(sim.Delivery{Packet: p, Depart: s.t})
 			}
@@ -39,7 +39,7 @@ func (s *okSwitch) Step(deliver sim.DeliverFunc) {
 
 func feed(c *Checker, n int) {
 	for k := 0; k < n; k++ {
-		c.Arrive(sim.Packet{ID: uint64(k), In: 0, Out: k % c.N(), Arrival: c.Now()})
+		c.Arrive(sim.Packet{ID: uint64(k), In: 0, Out: int32(k % c.N()), Arrival: c.Now()})
 		c.Step(nil)
 	}
 	for k := 0; k < 2*c.N(); k++ {

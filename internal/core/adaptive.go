@@ -106,7 +106,7 @@ func (a *adaptiveState) onSlotEnd(t sim.Slot) {
 			a.counts[i][j] = 0
 			a.rate[i][j] = (1-a.cfg.Gamma)*a.rate[i][j] + a.cfg.Gamma*measured
 			want := dyadic.StripeSize(a.rate[i][j], a.sw.n)
-			v := a.sw.inputs[i].voqs[j]
+			v := &a.sw.inputs[i].voqs[j]
 			target := v.size
 			if v.draining {
 				target = v.pending
@@ -133,18 +133,26 @@ func (a *adaptiveState) onSlotEnd(t sim.Slot) {
 // stops and the new size takes effect once every committed packet of the
 // old size has left the switch.
 func (a *adaptiveState) beginResize(i, j, size int) {
-	v := a.sw.inputs[i].voqs[j]
+	in := a.sw.inputs[i]
+	v := &in.voqs[j]
 	v.pending = size
 	v.draining = true
-	a.sw.maybeFinishResize(a.sw.inputs[i], v)
+	in.refreshFast(v)
+	a.sw.maybeFinishResize(in, v)
 }
 
 // Rate returns the current EWMA rate estimate for VOQ (i, j).
 func (a *adaptiveState) Rate(i, j int) float64 { return a.rate[i][j] }
 
 // onDelivered updates clearance bookkeeping when a packet leaves the switch.
+// The per-VOQ committed count only feeds the adaptive clearance phase, so
+// without adaptation the per-delivery VOQ access (a cache miss per packet at
+// large N) is skipped entirely; formStripes skips the matching increment.
 func (s *Switch) onDelivered(p sim.Packet) {
-	v := s.inputs[p.In].voqs[p.Out]
+	if s.adaptive == nil {
+		return
+	}
+	v := &s.inputs[p.In].voqs[p.Out]
 	v.committed--
 	if v.committed < 0 {
 		panic("core: committed packet count went negative")
@@ -167,6 +175,7 @@ func (s *Switch) maybeFinishResize(in *inputPort, v *voqState) {
 		s.adaptive.resizes++
 	}
 	in.formStripes(v)
+	in.refreshFast(v)
 }
 
 // Resizes reports how many stripe resizes have completed (0 when adaptation

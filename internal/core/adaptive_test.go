@@ -78,7 +78,7 @@ func TestAdaptiveOrderAcrossResizes(t *testing.T) {
 	for tt := 0; tt < 120000; tt++ {
 		src.Next(int64ToSlot(tt), sw.Arrive)
 		sw.Step(func(d delivery) {
-			k := [2]int{d.Packet.In, d.Packet.Out}
+			k := [2]int{int(d.Packet.In), int(d.Packet.Out)}
 			prev, ok := maxSeen[k]
 			if ok && int64(d.Packet.Seq) < prev {
 				reordered++
@@ -97,20 +97,23 @@ func TestAdaptiveOrderAcrossResizes(t *testing.T) {
 
 // TestClearancePhaseSuspendsFormation: during draining, ready packets
 // accumulate beyond the old stripe size rather than being committed.
+// Adaptive mode is on because committed-count bookkeeping only runs for
+// adaptive switches.
 func TestClearancePhaseSuspendsFormation(t *testing.T) {
 	const n = 8
-	sw := MustNew(Config{N: 8, Rand: rand.New(rand.NewSource(85))})
-	v := sw.inputs[0].voqs[3]
+	sw := MustNew(Config{N: 8, Rand: rand.New(rand.NewSource(85)), Adaptive: &AdaptiveConfig{}})
+	v := &sw.inputs[0].voqs[3]
 	v.draining = true
 	v.pending = 4
+	sw.inputs[0].refreshFast(v)
 	for k := 0; k < 6; k++ {
 		sw.Arrive(packet{In: 0, Out: 3, Seq: uint64(k)})
 	}
 	if v.committed != 0 {
 		t.Fatalf("committed %d during drain", v.committed)
 	}
-	if len(v.ready) != 6 {
-		t.Fatalf("ready %d, want 6", len(v.ready))
+	if v.ready.Len() != 6 {
+		t.Fatalf("ready %d, want 6", v.ready.Len())
 	}
 	// Completing the clearance must adopt the pending size and form the
 	// one full stripe that fits.
@@ -118,8 +121,8 @@ func TestClearancePhaseSuspendsFormation(t *testing.T) {
 	if v.size != 4 || v.draining {
 		t.Fatalf("resize not finalized: size=%d draining=%v", v.size, v.draining)
 	}
-	if v.committed != 4 || len(v.ready) != 2 {
-		t.Fatalf("after resize: committed=%d ready=%d, want 4 and 2", v.committed, len(v.ready))
+	if v.committed != 4 || v.ready.Len() != 2 {
+		t.Fatalf("after resize: committed=%d ready=%d, want 4 and 2", v.committed, v.ready.Len())
 	}
 }
 

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sprinklers/internal/sim"
+	"sprinklers/internal/traffic"
+)
+
+// driveSlots advances the switch through n slots of src traffic.
+func driveSlots(sw *Switch, src sim.Source, arrive func(sim.Packet), n int) {
+	for i := 0; i < n; i++ {
+		src.Next(sw.Now(), arrive)
+		sw.Step(nil)
+	}
+}
+
+// TestGatedStepZeroAllocSteadyState is the allocation regression guard for
+// the simulation hot path: after a warmup long enough to exercise stripe
+// formation, the stripe pools, and every queue's growth to its working-set
+// high-water mark, a steady-state slot — arrivals, stripe formation, both
+// fabric permutations, LSF service and delivery — must not allocate at all.
+//
+// The workload mixes stripe sizes (a Zipf rate matrix spans F=1 up to
+// multi-packet stripes at N=32) so both the size-1 direct path and the
+// pooled multi-packet stripe path are on the measured hot path. The run is
+// single-goroutine and seeded, so the measurement is deterministic.
+func TestGatedStepZeroAllocSteadyState(t *testing.T) {
+	const n = 32
+	m := traffic.Zipf(n, 0.85, 1.2)
+	rates := make([][]float64, n)
+	sized := map[int]bool{}
+	for i := range rates {
+		rates[i] = m.Row(i)
+	}
+	sw := MustNew(Config{N: n, Rates: rates, Rand: rand.New(rand.NewSource(41))})
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sized[sw.StripeSizeOf(i, j)] = true
+		}
+	}
+	if len(sized) < 2 {
+		t.Fatalf("workload degenerate: only stripe sizes %v in play", sized)
+	}
+	src := traffic.NewBernoulli(m, rand.New(rand.NewSource(42)))
+	arrive := sw.Arrive
+	// Warm past every transient: ready rings grow to their stripe sizes,
+	// the interval FIFOs and slab banks reach their occupancy high-water
+	// marks, and the stripe pools fill.
+	driveSlots(sw, src, arrive, 60_000)
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		src.Next(sw.Now(), arrive)
+		sw.Step(nil)
+	}); allocs != 0 {
+		t.Fatalf("steady-state Step allocated %v times per slot, want 0", allocs)
+	}
+}
+
+// TestGreedyStepZeroAllocSteadyState covers the same guard for the greedy
+// row-scan scheduler, whose storage (the per-input N x levels row bank) is
+// distinct from the gated path's.
+func TestGreedyStepZeroAllocSteadyState(t *testing.T) {
+	const n = 32
+	m := traffic.Zipf(n, 0.85, 1.2)
+	rates := make([][]float64, n)
+	for i := range rates {
+		rates[i] = m.Row(i)
+	}
+	sw := MustNew(Config{N: n, Rates: rates, Scheduler: GreedyLSF,
+		Rand: rand.New(rand.NewSource(43))})
+	src := traffic.NewBernoulli(m, rand.New(rand.NewSource(44)))
+	arrive := sw.Arrive
+	driveSlots(sw, src, arrive, 60_000)
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		src.Next(sw.Now(), arrive)
+		sw.Step(nil)
+	}); allocs != 0 {
+		t.Fatalf("steady-state greedy Step allocated %v times per slot, want 0", allocs)
+	}
+}

@@ -242,9 +242,18 @@ func (s *Switch) PrimaryPort(i, j int) int {
 	return s.ols.At(i, j)
 }
 
+// The fabric connection patterns specialized to the power-of-two N this
+// switch requires: the generic sim helpers divide by N, these mask. The
+// AND of a two's-complement value with N-1 is exactly the non-negative
+// mod-N residue, so they agree with sim.FirstStage / sim.SecondStage /
+// sim.IntermediateFor on every slot.
+func (s *Switch) firstStage(i int, t sim.Slot) int      { return (i + int(t)) & (s.n - 1) }
+func (s *Switch) secondStage(l int, t sim.Slot) int     { return (l - int(t)) & (s.n - 1) }
+func (s *Switch) intermediateFor(j int, t sim.Slot) int { return (j + int(t)) & (s.n - 1) }
+
 // Arrive implements sim.Switch.
 func (s *Switch) Arrive(p sim.Packet) {
-	if p.In < 0 || p.In >= s.n || p.Out < 0 || p.Out >= s.n {
+	if int(p.In) < 0 || int(p.In) >= s.n || int(p.Out) < 0 || int(p.Out) >= s.n {
 		panic(fmt.Sprintf("core: packet ports (%d,%d) out of range for N=%d", p.In, p.Out, s.n))
 	}
 	if s.adaptive != nil {
@@ -262,7 +271,7 @@ func (s *Switch) Step(deliver sim.DeliverFunc) {
 	s.mid.step(t, deliver)
 	for i := 0; i < s.n; i++ {
 		if p, ok := s.inputs[i].serve(t); ok {
-			s.mid.enqueue(sim.FirstStage(i, t, s.n), p)
+			s.mid.enqueue(s.firstStage(i, t), p)
 		}
 	}
 	if s.adaptive != nil {

@@ -23,97 +23,210 @@ type cell struct {
 //
 // For the gated scheduler the storage is one stripe FIFO per dyadic
 // interval: 2N-1 FIFOs, the collapsed form of the N x (log2 N + 1) bank
-// noted at the end of Sec. 3.4.2. For the greedy scheduler the storage is
-// the full per-(row, size) packet FIFO bank with one nonempty-bitmap word
-// per row, exactly the structure of Fig. 4.
+// noted at the end of Sec. 3.4.2. Size-1 stripes — the overwhelmingly
+// common case at large N — are a single packet each, so they skip the
+// stripe-object machinery entirely and live as bare cells in a slab-backed
+// queue bank keyed by interval start. For the greedy scheduler the storage
+// is the full per-(row, size) packet FIFO bank with one nonempty-bitmap
+// word per row, exactly the structure of Fig. 4.
 type inputPort struct {
 	sw       *Switch
 	i        int
-	voqs     []*voqState
-	buffered int // packets at this input (ready + scheduled)
+	voqs     []voqState // one contiguous array, not N scattered allocations
+	buffered int        // packets at this input (ready + scheduled)
 
-	// Gated scheduler state.
-	stripes []queue.FIFO[*stripe] // indexed by dyadic.Index
+	// fastSingle[j] caches voqs[j].iv.Start when the VOQ is eligible for
+	// the size-1 direct path (stripe size 1, not draining, empty ready
+	// queue) and is -1 otherwise. The hot arrival path reads only this
+	// 4-byte entry — 4N bytes per input instead of a ~100-byte voqState
+	// line per packet. Every mutation of the eligibility inputs goes
+	// through refreshFast, and a stale -1 merely falls back to the (fully
+	// equivalent) slow path.
+	fastSingle []int32
+
+	// Gated scheduler state. gatedBM[l] has bit k set iff a size-2^k
+	// stripe is queued for the interval starting at port l, so the LSF
+	// scan is one bit operation instead of up to log2(N)+1 FIFO probes.
+	// Bit 0 tracks the singles bank, bits >= 1 the stripe FIFOs.
+	stripes []queue.FIFO[*stripe] // sizes >= 2, indexed by dyadic.Index
+	singles *queue.Bank[cell]     // size-1 stripes, keyed by interval start
+	gatedBM []uint64
 	serving bool
 	cur     *stripe
 	curNext int
 
-	// Greedy scheduler state.
-	rows   [][]queue.FIFO[cell] // rows[l][k]: packets for port l from size-2^k stripes
-	bitmap []uint64             // bit k set iff rows[l][k] nonempty
+	// Greedy scheduler state: rows queue q=l*levels+k holds packets for
+	// intermediate port l from size-2^k stripes. One slab-backed bank per
+	// input, so a row access is a single index computation rather than two
+	// pointer dereferences through nested slices.
+	rows   *queue.Bank[cell]
+	bitmap []uint64 // bit k set iff rows queue l*levels+k is nonempty
+
+	// free recycles multi-packet stripe objects together with their pkts
+	// backing arrays: formStripes pops from it and the schedulers push
+	// exhausted stripes back, so steady-state stripe formation allocates
+	// nothing.
+	free []*stripe
 }
 
 func newInputPort(sw *Switch, i int) *inputPort {
 	in := &inputPort{
-		sw:   sw,
-		i:    i,
-		voqs: make([]*voqState, sw.n),
+		sw:         sw,
+		i:          i,
+		voqs:       make([]voqState, sw.n),
+		fastSingle: make([]int32, sw.n),
 	}
 	for j := range in.voqs {
-		v := &voqState{out: j, primary: sw.PrimaryPort(i, j)}
+		v := &in.voqs[j]
+		v.out = j
+		v.primary = sw.PrimaryPort(i, j)
 		v.setSize(initialSize(sw.cfg, i, j))
-		in.voqs[j] = v
+		in.refreshFast(v)
 	}
 	switch sw.cfg.Scheduler {
 	case GatedLSF:
 		in.stripes = make([]queue.FIFO[*stripe], 2*sw.n-1)
+		in.singles = queue.NewBank[cell](sw.n)
+		in.gatedBM = make([]uint64, sw.n)
 	case GreedyLSF:
-		in.rows = make([][]queue.FIFO[cell], sw.n)
-		for l := range in.rows {
-			in.rows[l] = make([]queue.FIFO[cell], sw.levels)
-		}
+		in.rows = queue.NewBank[cell](sw.n * sw.levels)
 		in.bitmap = make([]uint64, sw.n)
 	}
 	return in
 }
 
+// newStripe returns a stripe with a pkts slice of length f, reusing a
+// recycled object when one is available.
+func (in *inputPort) newStripe(f int) *stripe {
+	if n := len(in.free); n > 0 {
+		st := in.free[n-1]
+		in.free[n-1] = nil
+		in.free = in.free[:n-1]
+		if cap(st.pkts) < f {
+			st.pkts = make([]sim.Packet, f)
+		} else {
+			st.pkts = st.pkts[:f]
+		}
+		return st
+	}
+	return &stripe{pkts: make([]sim.Packet, f)}
+}
+
+// releaseStripe returns an exhausted stripe to the free list for reuse.
+func (in *inputPort) releaseStripe(st *stripe) {
+	st.pkts = st.pkts[:0]
+	in.free = append(in.free, st)
+}
+
+// refreshFast recomputes v's fastSingle entry from the ground truth. It
+// must be called after any change to the VOQ's size, draining flag, or
+// ready-queue emptiness.
+func (in *inputPort) refreshFast(v *voqState) {
+	if v.size == 1 && !v.draining && v.ready.Empty() {
+		in.fastSingle[v.out] = int32(v.iv.Start)
+	} else {
+		in.fastSingle[v.out] = -1
+	}
+}
+
 // arrive buffers p in its VOQ's ready queue and forms a stripe if the queue
 // reached the VOQ's stripe size.
 func (in *inputPort) arrive(p sim.Packet) {
-	v := in.voqs[p.Out]
-	v.ready = append(v.ready, p)
 	in.buffered++
+	if l := int(in.fastSingle[p.Out]); l >= 0 {
+		// Size-1 stripes need no accumulation, so the packet becomes a
+		// one-cell stripe directly, skipping the ready ring, the stripe
+		// object machinery and the voqState line itself. At large N nearly
+		// every VOQ stripes at size 1, which makes this the hottest branch
+		// in the simulator.
+		p.StripeSize = 1
+		c := cell{pkt: p, stripeID: in.sw.nextStripeID, formed: in.sw.t}
+		in.sw.nextStripeID++
+		if in.sw.adaptive != nil {
+			in.voqs[p.Out].committed++
+		}
+		if in.sw.cfg.Scheduler == GatedLSF {
+			in.singles.Push(l, c)
+			in.gatedBM[l] |= 1
+		} else {
+			in.rows.Push(l*in.sw.levels, c)
+			in.bitmap[l] |= 1
+		}
+		return
+	}
+	v := &in.voqs[p.Out]
+	v.ready.Push(p)
 	in.formStripes(v)
+	in.refreshFast(v)
 }
 
 // formStripes moves as many full stripes as possible from the ready queue
 // into the scheduler storage. Formation is suspended while the VOQ is in an
-// adaptive clearance phase.
+// adaptive clearance phase. Multi-packet stripes are bulk-copied straight
+// out of the ready ring into a pooled pkts array — one copy, no shift of
+// the remaining ready packets.
 func (in *inputPort) formStripes(v *voqState) {
-	for !v.draining && len(v.ready) >= v.size {
+	for !v.draining && v.ready.Len() >= v.size {
 		f := v.size
-		pkts := make([]sim.Packet, f)
-		copy(pkts, v.ready[:f])
-		v.ready = append(v.ready[:0], v.ready[f:]...)
-		for u := range pkts {
-			pkts[u].StripeSize = f
+		if f == 1 {
+			p := v.ready.Pop()
+			p.StripeSize = 1
+			in.scheduleSingle(v, p)
+			continue
 		}
-		st := &stripe{
-			id:     in.sw.nextStripeID,
-			in:     in.i,
-			out:    v.out,
-			iv:     v.iv,
-			formed: in.sw.t,
-			pkts:   pkts,
+		st := in.newStripe(f)
+		v.ready.PopInto(st.pkts)
+		for u := range st.pkts {
+			st.pkts[u].StripeSize = int32(f)
 		}
+		st.id = in.sw.nextStripeID
+		st.in = in.i
+		st.out = v.out
+		st.iv = v.iv
+		st.formed = in.sw.t
 		in.sw.nextStripeID++
-		v.committed += f
+		if in.sw.adaptive != nil {
+			v.committed += f
+		}
 		in.schedule(st)
 	}
 }
 
-// schedule places a completed stripe into the scheduler storage.
+// scheduleSingle places a completed size-1 stripe — one cell — into the
+// scheduler storage.
+func (in *inputPort) scheduleSingle(v *voqState, p sim.Packet) {
+	c := cell{pkt: p, stripeID: in.sw.nextStripeID, formed: in.sw.t}
+	in.sw.nextStripeID++
+	if in.sw.adaptive != nil {
+		v.committed++
+	}
+	l := v.iv.Start
+	if in.sw.cfg.Scheduler == GatedLSF {
+		in.singles.Push(l, c)
+		in.gatedBM[l] |= 1
+	} else {
+		in.rows.Push(l*in.sw.levels, c)
+		in.bitmap[l] |= 1
+	}
+}
+
+// schedule places a completed multi-packet stripe into the scheduler
+// storage.
 func (in *inputPort) schedule(st *stripe) {
 	switch in.sw.cfg.Scheduler {
 	case GatedLSF:
 		in.stripes[dyadic.Index(st.iv, in.sw.n)].Push(st)
+		in.gatedBM[st.iv.Start] |= 1 << uint(dyadic.Log2(st.iv.Size))
 	case GreedyLSF:
 		k := dyadic.Log2(st.iv.Size)
-		for u, p := range st.pkts {
+		for u := range st.pkts {
 			l := st.iv.Start + u
-			in.rows[l][k].Push(cell{pkt: p, stripeID: st.id, formed: st.formed})
+			in.rows.Push(l*in.sw.levels+k, cell{pkt: st.pkts[u], stripeID: st.id, formed: st.formed})
 			in.bitmap[l] |= 1 << uint(k)
 		}
+		// The greedy bank copies the packets out, so the stripe object is
+		// done the moment it is scheduled.
+		in.releaseStripe(st)
 	}
 }
 
@@ -121,7 +234,7 @@ func (in *inputPort) schedule(st *stripe) {
 // packet (if any) to transmit to the intermediate port the fabric currently
 // connects the input to.
 func (in *inputPort) serve(t sim.Slot) (cell, bool) {
-	l := sim.FirstStage(in.i, t, in.sw.n)
+	l := in.sw.firstStage(in.i, t)
 	switch in.sw.cfg.Scheduler {
 	case GatedLSF:
 		return in.serveGated(l)
@@ -137,32 +250,43 @@ func (in *inputPort) serveGated(l int) (cell, bool) {
 			panic(fmt.Sprintf("core: input %d gated service lost lockstep: stripe %v next %d, connection %d",
 				in.i, st.iv, in.curNext, l))
 		}
-		p := st.pkts[in.curNext]
+		c := cell{pkt: st.pkts[in.curNext], stripeID: st.id, formed: st.formed}
 		in.curNext++
 		if in.curNext == len(st.pkts) {
 			in.serving = false
 			in.cur = nil
+			in.releaseStripe(st)
 		}
 		in.buffered--
-		return cell{pkt: p, stripeID: st.id, formed: st.formed}, true
+		return c, true
 	}
 	// Largest Stripe First among the stripes whose dyadic interval starts
-	// at the connected port (Algorithm 1).
-	for f := dyadic.MaxSizeStartingAt(l, in.sw.n); f >= 1; f >>= 1 {
-		q := &in.stripes[dyadic.Index(dyadic.Interval{Start: l, Size: f}, in.sw.n)]
-		if q.Empty() {
-			continue
-		}
-		st := q.Pop()
-		if len(st.pkts) > 1 {
-			in.serving = true
-			in.cur = st
-			in.curNext = 1
+	// at the connected port (Algorithm 1): the highest set bitmap bit is
+	// the largest nonempty interval size.
+	bm := in.gatedBM[l]
+	if bm == 0 {
+		return cell{}, false
+	}
+	k := bits.Len64(bm) - 1
+	if k == 0 {
+		c := in.singles.Pop(l)
+		if in.singles.Empty(l) {
+			in.gatedBM[l] &^= 1
 		}
 		in.buffered--
-		return cell{pkt: st.pkts[0], stripeID: st.id, formed: st.formed}, true
+		return c, true
 	}
-	return cell{}, false
+	q := &in.stripes[dyadic.Index(dyadic.Interval{Start: l, Size: 1 << uint(k)}, in.sw.n)]
+	st := q.Pop()
+	if q.Empty() {
+		in.gatedBM[l] &^= 1 << uint(k)
+	}
+	c := cell{pkt: st.pkts[0], stripeID: st.id, formed: st.formed}
+	in.serving = true
+	in.cur = st
+	in.curNext = 1
+	in.buffered--
+	return c, true
 }
 
 func (in *inputPort) serveGreedy(l int) (cell, bool) {
@@ -173,9 +297,9 @@ func (in *inputPort) serveGreedy(l int) (cell, bool) {
 	// "First one from the right" of Fig. 4: the largest stripe size with a
 	// packet queued for this row.
 	k := bits.Len64(bm) - 1
-	q := &in.rows[l][k]
-	c := q.Pop()
-	if q.Empty() {
+	q := l*in.sw.levels + k
+	c := in.rows.Pop(q)
+	if in.rows.Empty(q) {
 		in.bitmap[l] &^= 1 << uint(k)
 	}
 	in.buffered--
@@ -187,6 +311,9 @@ func (in *inputPort) serveGreedy(l int) (cell, bool) {
 func (in *inputPort) queuedStripes(iv dyadic.Interval) int {
 	if in.sw.cfg.Scheduler != GatedLSF {
 		return 0
+	}
+	if iv.Size == 1 {
+		return in.singles.QueueLen(iv.Start)
 	}
 	return in.stripes[dyadic.Index(iv, in.sw.n)].Len()
 }

@@ -14,8 +14,11 @@ import (
 func TestStripeFormationAndQueueing(t *testing.T) {
 	const n = 8
 	rates := singleFlow(n, 0, 3, 4.0/64) // F = 4
-	sw := MustNew(Config{N: n, Rates: rates, Rand: rand.New(rand.NewSource(111))})
-	v := sw.inputs[0].voqs[3]
+	// Adaptive mode is on because the committed-count bookkeeping this test
+	// inspects only runs for adaptive switches.
+	sw := MustNew(Config{N: n, Rates: rates, Rand: rand.New(rand.NewSource(111)),
+		Adaptive: &AdaptiveConfig{}})
+	v := &sw.inputs[0].voqs[3]
 	if v.size != 4 {
 		t.Fatalf("stripe size %d, want 4", v.size)
 	}
@@ -26,15 +29,15 @@ func TestStripeFormationAndQueueing(t *testing.T) {
 	if got := sw.inputs[0].queuedStripes(iv); got != 0 {
 		t.Fatalf("stripe formed early: %d", got)
 	}
-	if len(v.ready) != 3 {
-		t.Fatalf("ready %d", len(v.ready))
+	if v.ready.Len() != 3 {
+		t.Fatalf("ready %d", v.ready.Len())
 	}
 	sw.Arrive(packet{In: 0, Out: 3, Seq: 3})
 	if got := sw.inputs[0].queuedStripes(iv); got != 1 {
 		t.Fatalf("stripes queued %d, want 1", got)
 	}
-	if len(v.ready) != 0 || v.committed != 4 {
-		t.Fatalf("ready %d committed %d", len(v.ready), v.committed)
+	if v.ready.Len() != 0 || v.committed != 4 {
+		t.Fatalf("ready %d committed %d", v.ready.Len(), v.committed)
 	}
 }
 
@@ -50,8 +53,8 @@ func TestStripeHeaderSet(t *testing.T) {
 		src.Next(int64ToSlot(tt), sw.Arrive)
 		sw.Step(func(d delivery) {
 			checked++
-			want := sw.StripeSizeOf(d.Packet.In, d.Packet.Out)
-			if d.Packet.StripeSize != want {
+			want := sw.StripeSizeOf(int(d.Packet.In), int(d.Packet.Out))
+			if int(d.Packet.StripeSize) != want {
 				t.Fatalf("packet header %d, VOQ stripe size %d", d.Packet.StripeSize, want)
 			}
 		})
@@ -100,13 +103,15 @@ func TestLSFPriority(t *testing.T) {
 	rates[0][1] = 4.0 / 64 // F=4
 	rates[0][2] = 0.5 / 64 // F=1
 	sw := MustNew(Config{N: n, Rates: rates, Rand: rand.New(rand.NewSource(116))})
-	big := sw.inputs[0].voqs[1]
-	small := sw.inputs[0].voqs[2]
+	big := &sw.inputs[0].voqs[1]
+	small := &sw.inputs[0].voqs[2]
 	// Force both intervals to start at port 0 for a guaranteed collision.
 	big.primary = 0
 	big.setSize(4)
+	sw.inputs[0].refreshFast(big)
 	small.primary = 0
 	small.setSize(1)
+	sw.inputs[0].refreshFast(small)
 	// Preload: the small stripe "arrives" first, then the big one fills.
 	sw.Arrive(packet{In: 0, Out: 2, Seq: 0})
 	for k := 0; k < 4; k++ {
@@ -114,7 +119,7 @@ func TestLSFPriority(t *testing.T) {
 	}
 	var outs []int
 	for tt := 0; tt < 4*n && len(outs) < 5; tt++ {
-		sw.Step(func(d delivery) { outs = append(outs, d.Packet.Out) })
+		sw.Step(func(d delivery) { outs = append(outs, int(d.Packet.Out)) })
 	}
 	if len(outs) != 5 {
 		t.Fatalf("delivered %d of 5", len(outs))

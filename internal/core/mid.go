@@ -18,13 +18,25 @@ import (
 // cross-port information used is the stripe size carried in each packet's
 // internal header, exactly the log2 log2 N bits the paper budgets; the
 // stripe id is carried alongside purely to power runtime assertions.
+//
+// The N x N x (log2 N + 1) FIFO bank is one slab-backed queue.Bank whose
+// queues are indexed (j*N + m)*levels + k, with one nonempty-bitmap word
+// per (j, m) pair. The nested [][][]FIFO layout it replaces carried over a
+// million slice headers at N=1024 and required two pointer dereferences per
+// access; the bank makes an access one multiply-add into a contiguous
+// index arena, shares all queued cells in one node slab whose free list
+// caps memory at the stage-wide backlog high-water mark, and therefore
+// stops allocating once the workload reaches steady state. The output
+// index is the major axis because the gated grid sweep advances m by one
+// per slot for each output, which then walks the index arena and bitmap
+// sequentially.
 type midStage struct {
 	sw       *Switch
 	n        int
 	levels   int
-	q        [][][]queue.FIFO[cell] // q[m][j][k]
-	bitmap   [][]uint64             // bitmap[m][j]: bit k set iff q[m][j][k] nonempty
-	grids    []outputGrid           // per-output virtual grid state (gated)
+	bank     *queue.Bank[cell] // queue (j*n + m)*levels + k
+	bitmap   []uint64          // j*n + m: bit k set iff the (m,j,k) queue is nonempty
+	grids    []outputGrid      // per-output virtual grid state (gated)
 	buffered int
 }
 
@@ -40,30 +52,23 @@ type outputGrid struct {
 }
 
 func newMidStage(sw *Switch) *midStage {
-	m := &midStage{
+	return &midStage{
 		sw:     sw,
 		n:      sw.n,
 		levels: sw.levels,
-		q:      make([][][]queue.FIFO[cell], sw.n),
-		bitmap: make([][]uint64, sw.n),
+		bank:   queue.NewBank[cell](sw.n * sw.n * sw.levels),
+		bitmap: make([]uint64, sw.n*sw.n),
 		grids:  make([]outputGrid, sw.n),
 	}
-	for l := range m.q {
-		m.q[l] = make([][]queue.FIFO[cell], sw.n)
-		m.bitmap[l] = make([]uint64, sw.n)
-		for j := range m.q[l] {
-			m.q[l][j] = make([]queue.FIFO[cell], sw.levels)
-		}
-	}
-	return m
 }
 
 // enqueue buffers a cell arriving at intermediate port l over the first
 // fabric.
 func (ms *midStage) enqueue(l int, c cell) {
-	k := dyadic.Log2(c.pkt.StripeSize)
-	ms.q[l][c.pkt.Out][k].Push(c)
-	ms.bitmap[l][c.pkt.Out] |= 1 << uint(k)
+	k := dyadic.Log2(int(c.pkt.StripeSize))
+	row := int(c.pkt.Out)*ms.n + l
+	ms.bank.Push(row*ms.levels+k, c)
+	ms.bitmap[row] |= 1 << uint(k)
 	ms.buffered++
 }
 
@@ -85,7 +90,7 @@ func (ms *midStage) step(t sim.Slot, deliver sim.DeliverFunc) {
 // service sweeps the grid rows top to bottom, one per slot.
 func (ms *midStage) stepOutputGated(j int, t sim.Slot, deliver sim.DeliverFunc) {
 	g := &ms.grids[j]
-	m := sim.IntermediateFor(j, t, ms.n)
+	m := ms.sw.intermediateFor(j, t)
 	if g.serving {
 		if g.iv.Start+g.next != m {
 			panic(fmt.Sprintf("core: output %d grid lost lockstep: stripe %v next %d, connection %d",
@@ -106,30 +111,31 @@ func (ms *midStage) stepOutputGated(j int, t sim.Slot, deliver sim.DeliverFunc) 
 	// Start the largest stripe whose interval begins at row m and whose
 	// head packet has reached this port. Every size-2^k packet queued at a
 	// row divisible by 2^k is the first packet of its stripe, so popping
-	// the FIFO head is exactly "start the oldest largest stripe".
-	for f := dyadic.MaxSizeStartingAt(m, ms.n); f >= 1; f >>= 1 {
-		k := dyadic.Log2(f)
-		if ms.bitmap[m][j]&(1<<uint(k)) == 0 {
-			continue
-		}
-		c := ms.pop(m, j, k)
-		if f > 1 {
-			g.serving = true
-			g.iv = dyadic.Interval{Start: m, Size: f}
-			g.next = 1
-			g.id = c.stripeID
-		}
-		ms.deliverCell(c, t, deliver)
+	// the FIFO head is exactly "start the oldest largest stripe". Masking
+	// the bitmap to the sizes whose interval can start at m (those dividing
+	// m) turns the largest-first scan into one bit operation; higher bits,
+	// if set, are mid-stripe packets that only the serving branch drains.
+	bm := ms.bitmap[j*ms.n+m] & (uint64(2*dyadic.MaxSizeStartingAt(m, ms.n)) - 1)
+	if bm == 0 {
 		return
 	}
+	k := bits.Len64(bm) - 1
+	c := ms.pop(m, j, k)
+	if k > 0 {
+		g.serving = true
+		g.iv = dyadic.Interval{Start: m, Size: 1 << uint(k)}
+		g.next = 1
+		g.id = c.stripeID
+	}
+	ms.deliverCell(c, t, deliver)
 }
 
 // stepPortGreedy is the stripe-oblivious variant: intermediate port m scans
 // its own row of the connected output's grid from largest stripe size to
 // smallest and forwards the first head-of-line packet found.
 func (ms *midStage) stepPortGreedy(m int, t sim.Slot, deliver sim.DeliverFunc) {
-	j := sim.SecondStage(m, t, ms.n)
-	bm := ms.bitmap[m][j]
+	j := ms.sw.secondStage(m, t)
+	bm := ms.bitmap[j*ms.n+m]
 	if bm == 0 {
 		return
 	}
@@ -139,13 +145,11 @@ func (ms *midStage) stepPortGreedy(m int, t sim.Slot, deliver sim.DeliverFunc) {
 }
 
 func (ms *midStage) pop(m, j, k int) cell {
-	q := &ms.q[m][j][k]
-	if q.Empty() {
-		panic(fmt.Sprintf("core: pop from empty intermediate FIFO m=%d j=%d size=%d", m, j, 1<<uint(k)))
-	}
-	c := q.Pop()
-	if q.Empty() {
-		ms.bitmap[m][j] &^= 1 << uint(k)
+	row := j*ms.n + m
+	q := row*ms.levels + k
+	c := ms.bank.Pop(q) // panics on an empty queue, guarding the bitmap
+	if ms.bank.Empty(q) {
+		ms.bitmap[row] &^= 1 << uint(k)
 	}
 	return c
 }
@@ -164,7 +168,7 @@ func (ms *midStage) deliverCell(c cell, t sim.Slot, deliver sim.DeliverFunc) {
 func (ms *midStage) queueLen(m, j int) int {
 	total := 0
 	for k := 0; k < ms.levels; k++ {
-		total += ms.q[m][j][k].Len()
+		total += ms.bank.QueueLen((j*ms.n+m)*ms.levels + k)
 	}
 	return total
 }

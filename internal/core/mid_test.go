@@ -66,10 +66,10 @@ func TestMidQueuesDrainAfterStop(t *testing.T) {
 		in := sw.inputs[i]
 		ready := 0
 		for _, v := range in.voqs {
-			ready += len(v.ready)
-			if len(v.ready) >= v.size {
+			ready += v.ready.Len()
+			if v.ready.Len() >= v.size {
 				t.Fatalf("full stripe sitting unformed in ready queue (%d >= %d)",
-					len(v.ready), v.size)
+					v.ready.Len(), v.size)
 			}
 		}
 		if in.buffered != ready {

@@ -23,7 +23,7 @@ func TestIndependentPlacementStillOrdered(t *testing.T) {
 	for tt := 0; tt < 40000; tt++ {
 		src.Next(int64ToSlot(tt), sw.Arrive)
 		sw.Step(func(d delivery) {
-			k := [2]int{d.Packet.In, d.Packet.Out}
+			k := [2]int{int(d.Packet.In), int(d.Packet.Out)}
 			prev, ok := maxSeen[k]
 			if ok && int64(d.Packet.Seq) < prev {
 				t.Fatal("independent placement reordered a flow")

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sprinklers/internal/dyadic"
+	"sprinklers/internal/queue"
 	"sprinklers/internal/sim"
 )
 
@@ -24,7 +25,7 @@ type voqState struct {
 	primary int // OLS-assigned primary intermediate port
 	size    int // current stripe size F(r), a power of two
 	iv      dyadic.Interval
-	ready   []sim.Packet // packets accumulating toward the next stripe
+	ready   queue.FIFO[sim.Packet] // packets accumulating toward the next stripe
 
 	// committed counts this VOQ's packets inside the switch beyond the
 	// ready queue (in input stripe FIFOs or the center stage). The

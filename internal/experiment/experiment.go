@@ -77,13 +77,9 @@ func NewSwitch(alg Algorithm, m *traffic.Matrix, seed int64) (sim.Switch, error)
 		if alg == SprinklersGreedy {
 			sched = core.GreedyLSF
 		}
-		rates := make([][]float64, n)
-		for i := range rates {
-			rates[i] = m.Row(i)
-		}
 		return core.New(core.Config{
 			N:         n,
-			Rates:     rates,
+			Rates:     m.Rows(), // deep copy: the switch must not alias matrix state
 			Scheduler: sched,
 			Rand:      rand.New(rand.NewSource(seed)),
 		})

@@ -119,7 +119,7 @@ func (s *Stage) stepOutput(j int, t sim.Slot, deliver sim.DeliverFunc) {
 		if c.Index != 0 {
 			continue
 		}
-		flow := flowKey{c.Pkt.In, c.Pkt.Out}
+		flow := flowKey{int(c.Pkt.In), int(c.Pkt.Out)}
 		if s.next[flow] != c.FlowSeq {
 			continue
 		}

@@ -13,7 +13,7 @@ import (
 func insertFrame(s *Stage, n int, in, out int, frameID, flowSeq uint64, start int, t0 sim.Slot, seqBase uint64) sim.Slot {
 	for u := 0; u < n; u++ {
 		s.Enqueue((start+u)%n, Cell{
-			Pkt:     sim.Packet{In: in, Out: out, Seq: seqBase + uint64(u), Arrival: t0},
+			Pkt:     sim.Packet{In: int32(in), Out: int32(out), Seq: seqBase + uint64(u), Arrival: t0},
 			FrameID: frameID,
 			FlowSeq: flowSeq,
 			Index:   u,
@@ -97,7 +97,7 @@ func TestCompetingFlowsEachStayOrdered(t *testing.T) {
 		for u := 0; u < n; u++ {
 			s.Step(tt, func(d sim.Delivery) { delivered = append(delivered, d) })
 			s.Enqueue((start+u)%n, Cell{
-				Pkt:     sim.Packet{In: f.in, Out: f.out, Seq: f.nextSeq, Arrival: tt},
+				Pkt:     sim.Packet{In: int32(f.in), Out: int32(f.out), Seq: f.nextSeq, Arrival: tt},
 				FrameID: frameID,
 				FlowSeq: f.flowSeq,
 				Index:   u,
@@ -118,7 +118,7 @@ func TestCompetingFlowsEachStayOrdered(t *testing.T) {
 	}
 	next := map[[2]int]uint64{}
 	for _, d := range delivered {
-		k := [2]int{d.Packet.In, d.Packet.Out}
+		k := [2]int{int(d.Packet.In), int(d.Packet.Out)}
 		if d.Packet.Seq != next[k] {
 			t.Fatalf("flow %v delivered seq %d, want %d", k, d.Packet.Seq, next[k])
 		}

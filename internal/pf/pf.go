@@ -211,7 +211,7 @@ func (s *Switch) selectFrame(i int, t sim.Slot) {
 		frame = append(frame, q.Pop())
 	}
 	for len(frame) < s.n {
-		frame = append(frame, sim.Packet{In: i, Out: longest, Fake: true, Arrival: t})
+		frame = append(frame, sim.Packet{In: int32(i), Out: int32(longest), Fake: true, Arrival: t})
 		s.padded++
 	}
 	in.startFrame(s, i, longest, frame)

@@ -1,0 +1,159 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBankBasics(t *testing.T) {
+	b := NewBank[int](3)
+	if b.Queues() != 3 || b.Len() != 0 {
+		t.Fatal("fresh bank not empty")
+	}
+	for q := 0; q < 3; q++ {
+		if !b.Empty(q) {
+			t.Fatalf("queue %d not empty", q)
+		}
+	}
+	// Interleave pushes across queues; FIFO order must hold per queue.
+	for i := 0; i < 30; i++ {
+		b.Push(i%3, i)
+	}
+	if b.Len() != 30 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if b.Peek(1) != 1 {
+		t.Fatalf("Peek(1) = %d", b.Peek(1))
+	}
+	for q := 0; q < 3; q++ {
+		if b.QueueLen(q) != 10 {
+			t.Fatalf("QueueLen(%d) = %d", q, b.QueueLen(q))
+		}
+		for i := q; i < 30; i += 3 {
+			if got := b.Pop(q); got != i {
+				t.Fatalf("queue %d: Pop = %d, want %d", q, got, i)
+			}
+		}
+		if !b.Empty(q) {
+			t.Fatalf("queue %d not drained", q)
+		}
+	}
+}
+
+// TestBankModel drives a bank and a per-queue slice model with the same
+// random operation sequence and requires identical observable behavior.
+func TestBankModel(t *testing.T) {
+	const queues = 5
+	f := func(ops []uint16) bool {
+		b := NewBank[uint16](queues)
+		model := make([][]uint16, queues)
+		for _, op := range ops {
+			q := int(op) % queues
+			if op%3 == 0 && len(model[q]) > 0 {
+				if b.Pop(q) != model[q][0] {
+					return false
+				}
+				model[q] = model[q][1:]
+			} else {
+				b.Push(q, op)
+				model[q] = append(model[q], op)
+			}
+			total := 0
+			for q := range model {
+				total += len(model[q])
+				if b.Empty(q) != (len(model[q]) == 0) {
+					return false
+				}
+				if len(model[q]) > 0 && b.Peek(q) != model[q][0] {
+					return false
+				}
+				if b.QueueLen(q) != len(model[q]) {
+					return false
+				}
+			}
+			if b.Len() != total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBankNodeReuse: after draining, the slab must recycle nodes rather
+// than grow — steady-state churn at or below the high-water mark is
+// allocation-free.
+func TestBankNodeReuse(t *testing.T) {
+	b := NewBank[int](4)
+	for i := 0; i < 64; i++ {
+		b.Push(i%4, i)
+	}
+	for q := 0; q < 4; q++ {
+		for !b.Empty(q) {
+			b.Pop(q)
+		}
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		for i := 0; i < 64; i++ {
+			b.Push(i%4, i)
+		}
+		for q := 0; q < 4; q++ {
+			for !b.Empty(q) {
+				b.Pop(q)
+			}
+		}
+	}); allocs != 0 {
+		t.Fatalf("churn below high-water mark allocated %v times per run", allocs)
+	}
+}
+
+// TestBankReleasesReferences: popped nodes must drop their values so the
+// slab does not pin heap objects.
+func TestBankReleasesReferences(t *testing.T) {
+	b := NewBank[*int](1)
+	b.Push(0, new(int))
+	b.Pop(0)
+	b.Push(0, nil)
+	if b.Peek(0) != nil {
+		t.Fatal("slab node not zeroed on Pop")
+	}
+}
+
+func TestBankGrow(t *testing.T) {
+	b := NewBank[int](2)
+	b.Push(0, 1)
+	b.Grow(128)
+	if b.Pop(0) != 1 {
+		t.Fatal("Grow lost queued element")
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 100; i++ {
+			b.Push(i%2, i)
+		}
+		for q := 0; q < 2; q++ {
+			for !b.Empty(q) {
+				b.Pop(q)
+			}
+		}
+	}); allocs != 0 {
+		t.Fatalf("pushes within Grow capacity allocated %v times", allocs)
+	}
+}
+
+func TestBankPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Pop empty":  func() { NewBank[int](1).Pop(0) },
+		"Peek empty": func() { NewBank[int](1).Peek(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -8,8 +8,12 @@ package queue
 // an empty queue ready for use. All operations are amortized O(1) and the
 // buffer is reused across Push/Pop cycles, so steady-state operation does not
 // allocate.
+//
+// The buffer capacity is always a power of two so every index wrap is a
+// single AND with len(buf)-1 instead of a division; this queue sits on the
+// per-slot hot path of every switch, where the modulo cost is measurable.
 type FIFO[T any] struct {
-	buf  []T
+	buf  []T // len(buf) is always 0 or a power of two
 	head int
 	n    int
 }
@@ -23,10 +27,29 @@ func (q *FIFO[T]) Empty() bool { return q.n == 0 }
 // Push appends v to the tail of the queue.
 func (q *FIFO[T]) Push(v T) {
 	if q.n == len(q.buf) {
-		q.grow()
+		q.grow(q.n + 1)
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = v
 	q.n++
+}
+
+// PushSlice appends every element of vs to the tail of the queue in order.
+// It reserves capacity once and copies in at most two chunks, so a bulk
+// enqueue avoids per-element call overhead. It is the enqueue-side
+// counterpart of PopInto (which the stripe-formation hot path uses); it
+// exists so callers moving packet runs in either direction get the same
+// two-copy cost.
+func (q *FIFO[T]) PushSlice(vs []T) {
+	if len(vs) == 0 {
+		return
+	}
+	if q.n+len(vs) > len(q.buf) {
+		q.grow(q.n + len(vs))
+	}
+	tail := (q.head + q.n) & (len(q.buf) - 1)
+	k := copy(q.buf[tail:], vs)
+	copy(q.buf, vs[k:])
+	q.n += len(vs)
 }
 
 // Pop removes and returns the head of the queue. It panics on an empty
@@ -38,9 +61,35 @@ func (q *FIFO[T]) Pop() T {
 	v := q.buf[q.head]
 	var zero T
 	q.buf[q.head] = zero // release references for GC
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & (len(q.buf) - 1)
 	q.n--
 	return v
+}
+
+// PopInto removes up to len(dst) elements from the head of the queue into
+// dst, preserving order, and returns how many were moved (min(len(dst),
+// Len)). Like Pop it zeroes the vacated slots so references are released.
+func (q *FIFO[T]) PopInto(dst []T) int {
+	k := len(dst)
+	if k > q.n {
+		k = q.n
+	}
+	if k == 0 {
+		return 0
+	}
+	first := k
+	if q.head+first > len(q.buf) {
+		first = len(q.buf) - q.head
+	}
+	copy(dst, q.buf[q.head:q.head+first])
+	clear(q.buf[q.head : q.head+first])
+	if first < k {
+		copy(dst[first:], q.buf[:k-first])
+		clear(q.buf[:k-first])
+	}
+	q.head = (q.head + k) & (len(q.buf) - 1)
+	q.n -= k
+	return k
 }
 
 // Peek returns the head of the queue without removing it. It panics on an
@@ -58,7 +107,7 @@ func (q *FIFO[T]) PeekAt(i int) T {
 	if i < 0 || i >= q.n {
 		panic("queue: PeekAt out of range")
 	}
-	return q.buf[(q.head+i)%len(q.buf)]
+	return q.buf[(q.head+i)&(len(q.buf)-1)]
 }
 
 // RemoveAt removes and returns the i-th element from the head (0 = head),
@@ -69,25 +118,45 @@ func (q *FIFO[T]) RemoveAt(i int) T {
 	if i < 0 || i >= q.n {
 		panic("queue: RemoveAt out of range")
 	}
-	v := q.buf[(q.head+i)%len(q.buf)]
+	mask := len(q.buf) - 1
+	v := q.buf[(q.head+i)&mask]
 	for k := i; k > 0; k-- {
-		q.buf[(q.head+k)%len(q.buf)] = q.buf[(q.head+k-1)%len(q.buf)]
+		q.buf[(q.head+k)&mask] = q.buf[(q.head+k-1)&mask]
 	}
 	var zero T
 	q.buf[q.head] = zero
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & mask
 	q.n--
 	return v
 }
 
-func (q *FIFO[T]) grow() {
+// Grow ensures the queue can hold at least capacity elements without
+// further allocation, so callers with a known working set can pre-size the
+// ring and keep the steady state allocation-free.
+func (q *FIFO[T]) Grow(capacity int) {
+	if capacity > len(q.buf) {
+		q.grow(capacity)
+	}
+}
+
+// grow reallocates the ring to a power-of-two capacity of at least min
+// (and at least double the current capacity, preserving amortized O(1)).
+func (q *FIFO[T]) grow(min int) {
 	capacity := len(q.buf) * 2
 	if capacity == 0 {
 		capacity = 8
 	}
+	for capacity < min {
+		capacity *= 2
+	}
 	next := make([]T, capacity)
-	for i := 0; i < q.n; i++ {
-		next[i] = q.buf[(q.head+i)%len(q.buf)]
+	if q.n > 0 {
+		first := q.n
+		if q.head+first > len(q.buf) {
+			first = len(q.buf) - q.head
+		}
+		copy(next, q.buf[q.head:q.head+first])
+		copy(next[first:], q.buf[:q.n-first])
 	}
 	q.buf = next
 	q.head = 0

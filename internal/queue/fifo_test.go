@@ -155,6 +155,192 @@ func TestFIFOPanics(t *testing.T) {
 	}
 }
 
+// wrappedFIFO builds a queue whose head sits at offset within the ring, so
+// the live region crosses the physical end of the buffer once enough
+// elements are pushed. The returned model holds the expected contents.
+func wrappedFIFO(offset, vals int) (*FIFO[int], []int) {
+	q := &FIFO[int]{}
+	for i := 0; i < offset; i++ {
+		q.Push(-1)
+	}
+	for i := 0; i < offset; i++ {
+		q.Pop()
+	}
+	model := make([]int, vals)
+	for i := range model {
+		model[i] = i
+		q.Push(i)
+	}
+	return q, model
+}
+
+// TestFIFOPeekAtWrapAndGrowth checks PeekAt at every index for queues whose
+// head sits at every possible ring offset, across sizes that straddle the
+// power-of-two growth boundaries (7..9, 15..17, ...).
+func TestFIFOPeekAtWrapAndGrowth(t *testing.T) {
+	for _, vals := range []int{1, 7, 8, 9, 15, 16, 17, 31, 32, 33} {
+		for offset := 0; offset <= 40; offset++ {
+			q, model := wrappedFIFO(offset, vals)
+			for i, want := range model {
+				if got := q.PeekAt(i); got != want {
+					t.Fatalf("offset=%d vals=%d: PeekAt(%d) = %d, want %d",
+						offset, vals, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFIFORemoveAtWrapAndGrowth removes every possible index from wrapped
+// queues of boundary-straddling sizes and checks the survivors pop in order.
+func TestFIFORemoveAtWrapAndGrowth(t *testing.T) {
+	for _, vals := range []int{1, 7, 8, 9, 16, 17} {
+		for offset := 0; offset <= 20; offset++ {
+			for idx := 0; idx < vals; idx++ {
+				q, model := wrappedFIFO(offset, vals)
+				if got := q.RemoveAt(idx); got != model[idx] {
+					t.Fatalf("offset=%d vals=%d: RemoveAt(%d) = %d, want %d",
+						offset, vals, idx, got, model[idx])
+				}
+				rest := append(append([]int(nil), model[:idx]...), model[idx+1:]...)
+				if q.Len() != len(rest) {
+					t.Fatalf("offset=%d vals=%d idx=%d: Len = %d, want %d",
+						offset, vals, idx, q.Len(), len(rest))
+				}
+				for _, want := range rest {
+					if got := q.Pop(); got != want {
+						t.Fatalf("offset=%d vals=%d idx=%d: Pop = %d, want %d",
+							offset, vals, idx, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFIFOBulkModel drives PushSlice/PopInto and a plain-slice model with the
+// same random operation sequence and requires identical observable behavior,
+// so the two-chunk copy paths are exercised across wrap and growth.
+func TestFIFOBulkModel(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var q FIFO[uint8]
+		var model []uint8
+		var next uint8
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1: // PushSlice of op%7 elements
+				chunk := make([]uint8, int(op)%7)
+				for i := range chunk {
+					chunk[i] = next
+					next++
+				}
+				q.PushSlice(chunk)
+				model = append(model, chunk...)
+			case 2: // PopInto a buffer possibly larger than the queue
+				dst := make([]uint8, int(op)%9)
+				got := q.PopInto(dst)
+				want := min(len(dst), len(model))
+				if got != want {
+					return false
+				}
+				for i := 0; i < got; i++ {
+					if dst[i] != model[i] {
+						return false
+					}
+				}
+				model = model[got:]
+			default: // single push/pop keeps the head offset odd
+				if len(model) > 0 && op%2 == 0 {
+					if q.Pop() != model[0] {
+						return false
+					}
+					model = model[1:]
+				} else {
+					q.Push(next)
+					model = append(model, next)
+					next++
+				}
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+			for i := range model {
+				if q.PeekAt(i) != model[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFIFOPushSliceAliasesSafely pushes a slice that wraps the ring and then
+// pops element-wise; order and values must match.
+func TestFIFOPushSliceWrapped(t *testing.T) {
+	q, model := wrappedFIFO(5, 3)
+	extra := []int{100, 101, 102, 103, 104, 105}
+	q.PushSlice(extra)
+	model = append(model, extra...)
+	dst := make([]int, 4)
+	if got := q.PopInto(dst); got != 4 {
+		t.Fatalf("PopInto = %d, want 4", got)
+	}
+	for i, want := range model[:4] {
+		if dst[i] != want {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], want)
+		}
+	}
+	for _, want := range model[4:] {
+		if got := q.Pop(); got != want {
+			t.Fatalf("Pop = %d, want %d", got, want)
+		}
+	}
+}
+
+// TestFIFOPopIntoReleasesReferences: vacated slots must be zeroed so the
+// queue does not pin popped pointers.
+func TestFIFOPopIntoReleasesReferences(t *testing.T) {
+	var q FIFO[*int]
+	for i := 0; i < 6; i++ {
+		q.Push(new(int))
+	}
+	dst := make([]*int, 6)
+	q.PopInto(dst)
+	for i := 0; i < 6; i++ {
+		q.Push(nil)
+	}
+	for i := 0; i < 6; i++ {
+		if q.PeekAt(i) != nil {
+			t.Fatalf("slot %d not zeroed by PopInto", i)
+		}
+	}
+}
+
+// TestFIFOGrow: pre-sizing must make subsequent pushes allocation-free and
+// must preserve contents when the live region wraps.
+func TestFIFOGrow(t *testing.T) {
+	q, model := wrappedFIFO(6, 5)
+	q.Grow(64)
+	for _, want := range model {
+		if got := q.Pop(); got != want {
+			t.Fatalf("Pop after Grow = %d, want %d", got, want)
+		}
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 50; i++ {
+			q.Push(i)
+		}
+		for i := 0; i < 50; i++ {
+			q.Pop()
+		}
+	}); allocs != 0 {
+		t.Fatalf("pushes after Grow allocated %v times", allocs)
+	}
+}
+
 func TestFIFOReleasesReferences(t *testing.T) {
 	// Pop must zero the slot so pointers do not leak; observable via a
 	// pointer that should become collectible — here we just check the

@@ -44,22 +44,36 @@ func Run(sw Switch, src Source, cfg RunConfig, obs Observer) (offered, delivered
 		panic("sim: switch and source port counts differ")
 	}
 	total := cfg.Warmup + cfg.Slots
-	deliver := func(d Delivery) {
-		if d.Packet.Arrival < cfg.Warmup || d.Packet.Fake {
-			return
-		}
-		delivered++
-		if obs != nil {
+	// Both per-slot callbacks are constructed once, outside the slot loop,
+	// so the hot loop hands the switch the same closure values every slot
+	// instead of materializing fresh ones per slot. deliver is specialized
+	// on whether an observer is attached: with one it calls Observe
+	// directly, without one the per-delivery observer branch disappears.
+	var deliver DeliverFunc
+	if obs != nil {
+		deliver = func(d Delivery) {
+			if d.Packet.Arrival < cfg.Warmup || d.Packet.Fake {
+				return
+			}
+			delivered++
 			obs.Observe(d)
 		}
+	} else {
+		deliver = func(d Delivery) {
+			if d.Packet.Arrival < cfg.Warmup || d.Packet.Fake {
+				return
+			}
+			delivered++
+		}
+	}
+	arrive := func(p Packet) {
+		if p.Arrival >= cfg.Warmup {
+			offered++
+		}
+		sw.Arrive(p)
 	}
 	for t := Slot(0); t < total; t++ {
-		src.Next(t, func(p Packet) {
-			if p.Arrival >= cfg.Warmup {
-				offered++
-			}
-			sw.Arrive(p)
-		})
+		src.Next(t, arrive)
 		sw.Step(deliver)
 	}
 	return offered, delivered

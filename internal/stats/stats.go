@@ -233,7 +233,7 @@ func NewResequencer(out sim.Observer) *Resequencer {
 
 // Observe implements sim.Observer.
 func (r *Resequencer) Observe(d sim.Delivery) {
-	k := flowKey{d.Packet.In, d.Packet.Out}
+	k := flowKey{int(d.Packet.In), int(d.Packet.Out)}
 	want := r.next[k]
 	switch {
 	case d.Packet.Seq == want:

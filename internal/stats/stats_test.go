@@ -83,7 +83,7 @@ func TestDelayNegativePanics(t *testing.T) {
 func TestReorderDetection(t *testing.T) {
 	r := NewReorder(4)
 	add := func(in, out int, seq uint64) {
-		r.Add(sim.Packet{In: in, Out: out, Seq: seq})
+		r.Add(sim.Packet{In: int32(in), Out: int32(out), Seq: seq})
 	}
 	add(0, 0, 0)
 	add(0, 0, 1)

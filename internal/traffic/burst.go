@@ -15,7 +15,7 @@ import (
 // schedulers far harder than the Bernoulli process at the same load.
 type OnOff struct {
 	n      int
-	rng    *rand.Rand
+	rng    rng
 	on     []bool
 	pOnOff float64 // P(ON -> OFF) per slot
 	pOffOn []float64
@@ -33,7 +33,7 @@ func NewOnOff(m *Matrix, meanBurst float64, rng *rand.Rand) *OnOff {
 	n := m.N()
 	src := &OnOff{
 		n:      n,
-		rng:    rng,
+		rng:    newRNG(rng.Uint64()),
 		on:     make([]bool, n),
 		pOnOff: 1 / meanBurst,
 		pOffOn: make([]float64, n),
@@ -74,11 +74,11 @@ func (o *OnOff) Next(t sim.Slot, emit func(sim.Packet)) {
 		if !o.on[i] {
 			continue
 		}
-		j := o.alias[i].draw(o.rng)
+		j := o.alias[i].draw(&o.rng)
 		emit(sim.Packet{
 			ID:      o.nextID,
-			In:      i,
-			Out:     j,
+			In:      int32(i),
+			Out:     int32(j),
 			Seq:     o.seq[i][j],
 			Arrival: t,
 		})
@@ -115,14 +115,14 @@ func newSeq(n int) [][]uint64 {
 // port model and cause a panic.
 func (tr *Trace) Add(t sim.Slot, in, out int) {
 	for _, p := range tr.bySlot[t] {
-		if p.In == in {
+		if int(p.In) == in {
 			panic("traffic: two arrivals at one input in one slot")
 		}
 	}
 	p := sim.Packet{
 		ID:      tr.nextID,
-		In:      in,
-		Out:     out,
+		In:      int32(in),
+		Out:     int32(out),
 		Seq:     tr.seq[in][out],
 		Arrival: t,
 	}

@@ -44,8 +44,22 @@ func (m *Matrix) N() int { return m.n }
 // Rate returns the rate of VOQ (i, j).
 func (m *Matrix) Rate(i, j int) float64 { return m.rates[i][j] }
 
-// Row returns a copy of row i.
+// Row returns a copy of row i. Callers may mutate the returned slice freely
+// (NewBernoulli normalizes its copy in place, for example) without affecting
+// the matrix.
 func (m *Matrix) Row(i int) []float64 { return append([]float64(nil), m.rates[i]...) }
+
+// Rows returns a deep copy of the full rate matrix as a [][]float64, the
+// shape switch configurations take. Every caller gets independent storage,
+// so neither the matrix nor other callers observe subsequent mutations —
+// the defensive counterpart of handing out m.rates itself.
+func (m *Matrix) Rows() [][]float64 {
+	out := make([][]float64, m.n)
+	for i := range out {
+		out[i] = append([]float64(nil), m.rates[i]...)
+	}
+	return out
+}
 
 // RowSum returns the total arrival rate at input port i.
 func (m *Matrix) RowSum(i int) float64 {

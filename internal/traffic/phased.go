@@ -13,7 +13,7 @@ import (
 // order across a workload shift.
 type Phased struct {
 	n      int
-	rng    *rand.Rand
+	rng    rng
 	phases []phase
 	seq    [][]uint64
 	nextID uint64
@@ -27,7 +27,7 @@ type phase struct {
 
 // NewPhased builds an empty phased source for an n-port switch.
 func NewPhased(n int, rng *rand.Rand) *Phased {
-	return &Phased{n: n, rng: rng, seq: newSeq(n)}
+	return &Phased{n: n, rng: newRNG(rng.Uint64()), seq: newSeq(n)}
 }
 
 // AddPhase appends a phase of the given duration using rate matrix m. It
@@ -47,13 +47,7 @@ func (p *Phased) AddPhase(m *Matrix, duration sim.Slot) *Phased {
 	}
 	for i := 0; i < p.n; i++ {
 		ph.prob[i] = m.RowSum(i)
-		row := m.Row(i)
-		if ph.prob[i] > 0 {
-			for j := range row {
-				row[j] /= ph.prob[i]
-			}
-		}
-		ph.alias[i] = newAliasTable(row)
+		ph.alias[i] = newConditionalAliasTable(m, i)
 	}
 	p.phases = append(p.phases, ph)
 	return p
@@ -87,11 +81,11 @@ func (p *Phased) Next(t sim.Slot, emit func(sim.Packet)) {
 		if ph.prob[i] == 0 || p.rng.Float64() >= ph.prob[i] {
 			continue
 		}
-		j := ph.alias[i].draw(p.rng)
+		j := ph.alias[i].draw(&p.rng)
 		emit(sim.Packet{
 			ID:      p.nextID,
-			In:      i,
-			Out:     j,
+			In:      int32(i),
+			Out:     int32(j),
 			Seq:     p.seq[i][j],
 			Arrival: t,
 		})

@@ -121,8 +121,8 @@ func NewReplayer(rd io.Reader) (*Replayer, error) {
 		}
 		p := sim.Packet{
 			ID:      rp.nextID,
-			In:      in,
-			Out:     out,
+			In:      int32(in),
+			Out:     int32(out),
 			Seq:     rp.seq[in][out],
 			Arrival: slot,
 		}

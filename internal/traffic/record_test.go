@@ -28,7 +28,7 @@ func TestRecordReplayRoundTrip(t *testing.T) {
 	var want []arrival
 	for tt := sim.Slot(0); tt < slots; tt++ {
 		rec.Next(tt, func(p sim.Packet) {
-			want = append(want, arrival{tt, p.In, p.Out})
+			want = append(want, arrival{tt, int(p.In), int(p.Out)})
 		})
 	}
 	if err := rec.Flush(); err != nil {
@@ -50,8 +50,8 @@ func TestRecordReplayRoundTrip(t *testing.T) {
 	ids := map[uint64]bool{}
 	for tt := sim.Slot(0); tt < slots; tt++ {
 		rp.Next(tt, func(p sim.Packet) {
-			got = append(got, arrival{tt, p.In, p.Out})
-			k := [2]int{p.In, p.Out}
+			got = append(got, arrival{tt, int(p.In), int(p.Out)})
+			k := [2]int{int(p.In), int(p.Out)}
 			if p.Seq != seq[k] {
 				t.Fatalf("replayed seq %d for flow %v, want %d", p.Seq, k, seq[k])
 			}

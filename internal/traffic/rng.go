@@ -1,0 +1,58 @@
+package traffic
+
+// rng is a small inlined xoshiro256++ pseudo-random generator
+// (Blackman & Vigna, 2018). The arrival sources draw tens of millions of
+// variates per simulated second, and math/rand's interface indirection plus
+// its two-call alias sampling dominated BenchmarkBernoulliSource; xoshiro's
+// state fits in 32 bytes, every step is a handful of shifts and adds, and
+// the whole generator inlines into the draw loop.
+//
+// The generator is deterministic: the same seed always produces the same
+// stream, so a simulation seed reproduces the same packet trace run-to-run.
+type rng struct {
+	s0, s1, s2, s3 uint64
+}
+
+// newRNG returns a generator whose state is expanded from seed with
+// splitmix64, the initialization the xoshiro authors recommend (it
+// guarantees a nonzero state for every seed, including 0).
+func newRNG(seed uint64) rng {
+	var r rng
+	r.s0, seed = splitmix64(seed)
+	r.s1, seed = splitmix64(seed)
+	r.s2, seed = splitmix64(seed)
+	r.s3, _ = splitmix64(seed)
+	return r
+}
+
+// splitmix64 advances a splitmix64 state and returns (output, next state).
+func splitmix64(x uint64) (uint64, uint64) {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31), x
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *rng) Uint64() uint64 {
+	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
+	result := rotl(s0+s3, 23) + s0
+	t := s1 << 17
+	s2 ^= s0
+	s3 ^= s1
+	s1 ^= s2
+	s0 ^= s3
+	s2 ^= t
+	s3 = rotl(s3, 45)
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+	return result
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Float64 returns a uniform float in [0, 1) with 53 random bits, the same
+// resolution as math/rand.Float64.
+func (r *rng) Float64() float64 {
+	return float64(r.Uint64()>>11) * 0x1p-53
+}

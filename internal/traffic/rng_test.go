@@ -1,0 +1,105 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sprinklers/internal/sim"
+)
+
+// TestRNGDeterministic: the same seed must produce the same stream — the
+// property every fixed-seed simulation in this repository relies on.
+func TestRNGDeterministic(t *testing.T) {
+	a, b := newRNG(12345), newRNG(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+	c := newRNG(12346)
+	same := 0
+	a = newRNG(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided on %d of 1000 draws", same)
+	}
+}
+
+// TestRNGZeroSeed: seed 0 must still yield a usable (nonzero-state) stream.
+func TestRNGZeroSeed(t *testing.T) {
+	r := newRNG(0)
+	var or uint64
+	for i := 0; i < 100; i++ {
+		or |= r.Uint64()
+	}
+	if or == 0 {
+		t.Fatal("zero seed produced an all-zero stream")
+	}
+}
+
+// TestRNGFloat64Range: Float64 must stay in [0, 1) and have mean ~1/2.
+func TestRNGFloat64Range(t *testing.T) {
+	r := newRNG(42)
+	const draws = 200000
+	var sum float64
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+// TestRNGUniformBits: each of the 64 output bits should be set about half
+// the time.
+func TestRNGUniformBits(t *testing.T) {
+	r := newRNG(7)
+	const draws = 100000
+	counts := make([]int, 64)
+	for i := 0; i < draws; i++ {
+		u := r.Uint64()
+		for b := 0; b < 64; b++ {
+			if u&(1<<uint(b)) != 0 {
+				counts[b]++
+			}
+		}
+	}
+	for b, c := range counts {
+		if math.Abs(float64(c)/draws-0.5) > 0.01 {
+			t.Errorf("bit %d set %d/%d times", b, c, draws)
+		}
+	}
+}
+
+// TestBernoulliTraceReproducible: two sources built from the same seed must
+// emit byte-identical packet traces.
+func TestBernoulliTraceReproducible(t *testing.T) {
+	m := Uniform(16, 0.8)
+	a := NewBernoulli(m, rand.New(rand.NewSource(33)))
+	b := NewBernoulli(m, rand.New(rand.NewSource(33)))
+	var trace []sim.Packet
+	for tt := sim.Slot(0); tt < 5000; tt++ {
+		a.Next(tt, func(p sim.Packet) { trace = append(trace, p) })
+	}
+	i := 0
+	for tt := sim.Slot(0); tt < 5000; tt++ {
+		b.Next(tt, func(p sim.Packet) {
+			if i >= len(trace) || trace[i] != p {
+				t.Fatalf("trace diverged at packet %d", i)
+			}
+			i++
+		})
+	}
+	if i != len(trace) {
+		t.Fatalf("second trace emitted %d of %d packets", i, len(trace))
+	}
+}

@@ -6,66 +6,113 @@ import (
 	"sprinklers/internal/sim"
 )
 
+// destEntry is one packed bucket of a flattened alias table — the
+// acceptance threshold scaled to 32 bits and the alias target — fused with
+// the per-(input, output) flow sequence counter. When a draw accepts its
+// own bucket (the overwhelmingly common case for near-uniform rows, whose
+// buckets are all nearly full) the alias lookup and the sequence-number
+// update touch the same 16-byte entry, i.e. one cache line.
+type destEntry struct {
+	thresh uint32 // accept the bucket itself when the 32-bit fraction is below this
+	alias  int32
+	seq    uint64
+}
+
 // Bernoulli is the arrival process used throughout the paper's evaluation:
 // in every slot, input port i independently receives one packet with
 // probability equal to its row sum, and the packet's destination is drawn
 // from the row's conditional distribution. Destination sampling uses Walker
-// alias tables so a draw is O(1) regardless of N.
+// alias tables so a draw is O(1) regardless of N; each alias draw consumes a
+// single 64-bit variate from an inlined xoshiro256++ generator.
 type Bernoulli struct {
-	n      int
-	rng    *rand.Rand
-	prob   []float64 // arrival probability per input
-	alias  []aliasTable
-	seq    [][]uint64 // per-(i,j) sequence numbers
+	n   int
+	rng rng
+	// arriv[i] is input i's arrival probability (its matrix row sum) scaled
+	// to 64 bits: a packet arrives iff Uint64() < arriv[i]. The per-input
+	// alias tables and flow sequence numbers are flattened into one
+	// contiguous entry array indexed i*n+j, keeping the whole sampling
+	// state pointer-free.
+	arriv  []uint64
+	dest   []destEntry
 	nextID uint64
 }
 
-// NewBernoulli builds the Bernoulli source for rate matrix m, drawing all
-// randomness from rng. The same seed reproduces the same packet trace.
+// NewBernoulli builds the Bernoulli source for rate matrix m. The source's
+// internal fast generator is seeded from rng, so the same seed reproduces
+// the same packet trace run-to-run. The matrix is read, never mutated.
 func NewBernoulli(m *Matrix, rng *rand.Rand) *Bernoulli {
 	n := m.N()
 	src := &Bernoulli{
 		n:     n,
-		rng:   rng,
-		prob:  make([]float64, n),
-		alias: make([]aliasTable, n),
-		seq:   make([][]uint64, n),
+		rng:   newRNG(rng.Uint64()),
+		arriv: make([]uint64, n),
+		dest:  make([]destEntry, n*n),
 	}
 	for i := 0; i < n; i++ {
-		src.prob[i] = m.RowSum(i)
-		src.seq[i] = make([]uint64, n)
-		row := m.Row(i)
-		if src.prob[i] > 0 {
-			for j := range row {
-				row[j] /= src.prob[i]
-			}
+		if prob := m.RowSum(i); prob >= 1 {
+			src.arriv[i] = ^uint64(0)
+		} else {
+			src.arriv[i] = uint64(prob * 0x1p64)
 		}
-		src.alias[i] = newAliasTable(row)
+		t := newConditionalAliasTable(m, i)
+		for j := range t.prob {
+			thresh := t.prob[j] * (1 << 32)
+			if thresh > 0xffffffff {
+				thresh = 0xffffffff
+			}
+			src.dest[i*n+j] = destEntry{thresh: uint32(thresh), alias: int32(t.alias[j])}
+		}
 	}
 	return src
+}
+
+// newConditionalAliasTable builds the alias table for input i's conditional
+// destination distribution, normalizing into a scratch copy so the matrix
+// row is never written through.
+func newConditionalAliasTable(m *Matrix, i int) aliasTable {
+	row := m.Row(i) // a copy, safe to normalize in place
+	if sum := m.RowSum(i); sum > 0 {
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+	return newAliasTable(row)
 }
 
 // N implements sim.Source.
 func (b *Bernoulli) N() int { return b.n }
 
-// Next implements sim.Source: it emits the slot-t arrivals.
+// Next implements sim.Source: it emits the slot-t arrivals. The generator
+// state lives in a local for the duration of the loop so the compiler can
+// keep it in registers across draws.
 func (b *Bernoulli) Next(t sim.Slot, emit func(sim.Packet)) {
+	r := b.rng
 	for i := 0; i < b.n; i++ {
-		if b.prob[i] == 0 || b.rng.Float64() >= b.prob[i] {
+		if r.Uint64() >= b.arriv[i] {
 			continue
 		}
-		j := b.alias[i].draw(b.rng)
+		// One 64-bit draw per destination sample: high 32 bits select the
+		// alias bucket (Lemire range reduction), low 32 bits accept/alias.
+		u := r.Uint64()
+		base := i * b.n
+		j := int(((u >> 32) * uint64(b.n)) >> 32)
+		e := &b.dest[base+j]
+		if uint32(u) >= e.thresh {
+			j = int(e.alias)
+			e = &b.dest[base+j]
+		}
 		p := sim.Packet{
 			ID:      b.nextID,
-			In:      i,
-			Out:     j,
-			Seq:     b.seq[i][j],
+			In:      int32(i),
+			Out:     int32(j),
+			Seq:     e.seq,
 			Arrival: t,
 		}
 		b.nextID++
-		b.seq[i][j]++
+		e.seq++
 		emit(p)
 	}
+	b.rng = r
 }
 
 // aliasTable implements Walker's alias method for O(1) sampling from a
@@ -124,9 +171,13 @@ func newAliasTable(weights []float64) aliasTable {
 	return t
 }
 
-func (t aliasTable) draw(rng *rand.Rand) int {
-	i := rng.Intn(len(t.prob))
-	if rng.Float64() < t.prob[i] {
+// draw samples the table from one 64-bit variate: the high 32 bits select
+// the bucket (Lemire's multiply-shift range reduction) and the low 32 bits
+// form the acceptance fraction, halving the generator calls per sample.
+func (t aliasTable) draw(r *rng) int {
+	u := r.Uint64()
+	i := int(((u >> 32) * uint64(len(t.prob))) >> 32)
+	if float64(u&0xffffffff)*0x1p-32 < t.prob[i] {
 		return i
 	}
 	return t.alias[i]

@@ -139,8 +139,8 @@ func TestBernoulliSequencing(t *testing.T) {
 	for tt := sim.Slot(0); tt < 20000; tt++ {
 		perInput := make(map[int]int)
 		src.Next(tt, func(p sim.Packet) {
-			perInput[p.In]++
-			if perInput[p.In] > 1 {
+			perInput[int(p.In)]++
+			if perInput[int(p.In)] > 1 {
 				t.Fatal("two arrivals at one input in one slot")
 			}
 			if ids[p.ID] {
@@ -169,16 +169,42 @@ func TestBernoulliZeroRateRowEmitsNothing(t *testing.T) {
 	}
 }
 
+// TestMatrixRowHandlingIsDefensive: constructing sources from a matrix (and
+// mutating what Row/Rows return) must never change the matrix itself —
+// NewBernoulli normalizes its row copies in place, which once risked leaking
+// through shared backing arrays into every later consumer of the matrix.
+func TestMatrixRowHandlingIsDefensive(t *testing.T) {
+	m := Diagonal(8, 0.6)
+	before := m.Rows()
+	NewBernoulli(m, rand.New(rand.NewSource(1)))
+	NewOnOff(m, 8, rand.New(rand.NewSource(2)))
+	NewPhased(8, rand.New(rand.NewSource(3))).AddPhase(m, 100)
+	row := m.Row(2)
+	for j := range row {
+		row[j] = -1
+	}
+	rows := m.Rows()
+	rows[0][0] = 99
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if m.Rate(i, j) != before[i][j] {
+				t.Fatalf("matrix entry (%d,%d) changed: %v -> %v",
+					i, j, before[i][j], m.Rate(i, j))
+			}
+		}
+	}
+}
+
 // TestAliasTable checks Walker alias sampling against the target
 // distribution.
 func TestAliasTable(t *testing.T) {
 	weights := []float64{0.5, 0.25, 0.125, 0.0, 0.125}
 	at := newAliasTable(weights)
-	rng := rand.New(rand.NewSource(7))
+	r := newRNG(7)
 	const draws = 400000
 	counts := make([]float64, len(weights))
 	for k := 0; k < draws; k++ {
-		counts[at.draw(rng)]++
+		counts[at.draw(&r)]++
 	}
 	for i, w := range weights {
 		got := counts[i] / draws

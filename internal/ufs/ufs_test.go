@@ -129,7 +129,7 @@ func TestFrameBurstAtOutput(t *testing.T) {
 	lastSeq := map[key]uint64{}
 	var violations int
 	obs := sim.ObserverFunc(func(d sim.Delivery) {
-		k := key{d.Packet.In, d.Packet.Out}
+		k := key{int(d.Packet.In), int(d.Packet.Out)}
 		if s, ok := lastSeq[k]; ok && d.Packet.Seq == s+1 && d.Packet.Seq%uint64(n) != 0 {
 			// Same frame as the previous packet: must be the next slot.
 			if d.Depart != lastSlot[k]+1 {

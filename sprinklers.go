@@ -123,14 +123,9 @@ func MustNew(cfg Config) *SprinklersSwitch { return core.MustNew(cfg) }
 // randomness comes from the given seed, and the order-preserving gated LSF
 // scheduler is used.
 func ConfigFromMatrix(m *TrafficMatrix, seed int64) Config {
-	n := m.N()
-	rates := make([][]float64, n)
-	for i := range rates {
-		rates[i] = m.Row(i)
-	}
 	return Config{
-		N:     n,
-		Rates: rates,
+		N:     m.N(),
+		Rates: m.Rows(), // deep copy: the switch must not alias matrix state
 		Rand:  rand.New(rand.NewSource(seed)),
 	}
 }
