@@ -4,18 +4,23 @@
 // chosen traffic pattern. Figure 6 is -traffic uniform, Figure 7 is
 // -traffic diagonal.
 //
+// It is a thin wrapper over the study engine (cmd/sweep runs arbitrary
+// grids): the flags assemble a one-traffic, one-size Spec and hand it to
+// experiment.RunStudy. With -replicas > 1 every point carries a 95%
+// confidence interval; with -out the run checkpoints to JSONL and resumes.
+//
 // Usage:
 //
 //	delaycurves [-traffic uniform|diagonal|hotspot|zipf|permutation]
-//	            [-n 32] [-slots 1000000] [-seed 1]
-//	            [-loads 0.1,...,0.98] [-algs all|csv] [-detail]
+//	            [-n 32] [-slots 1000000] [-seed 1] [-replicas 1]
+//	            [-loads 0.1,...,0.98] [-algs all|csv] [-burst 0]
+//	            [-out results.jsonl] [-detail] [-csv]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"sprinklers/internal/experiment"
@@ -27,65 +32,71 @@ func main() {
 	n := flag.Int("n", 32, "switch size (power of two)")
 	slots := flag.Int64("slots", 1_000_000, "measured slots per point")
 	seed := flag.Int64("seed", 1, "random seed")
+	replicas := flag.Int("replicas", 1, "independently-seeded runs per point (CI error bars when > 1)")
+	burst := flag.Float64("burst", 0, "mean on/off burst length; 0 = Bernoulli arrivals as in the paper")
 	loadsFlag := flag.String("loads", "", "comma-separated loads (default: the paper's grid)")
 	algsFlag := flag.String("algs", "", "comma-separated algorithms (default: the paper's five)")
+	out := flag.String("out", "", "JSONL checkpoint file; appended as points finish, resumed if it exists")
 	detail := flag.Bool("detail", false, "print per-point detail (throughput, tails, reordering)")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of the text table")
 	flag.Parse()
 
-	loads := experiment.PaperLoads
+	spec := experiment.Spec{
+		Name:     "delaycurves",
+		Kind:     experiment.SimStudy,
+		Traffic:  []experiment.TrafficKind{experiment.TrafficKind(*trafficKind)},
+		Loads:    experiment.PaperLoads,
+		Sizes:    []int{*n},
+		Replicas: *replicas,
+		Slots:    sim.Slot(*slots),
+		Seed:     *seed,
+	}
+	if *burst != 0 {
+		// Negative values flow into Spec.Validate and fail loudly there.
+		spec.Bursts = []float64{*burst}
+	}
 	if *loadsFlag != "" {
-		var err error
-		loads, err = parseFloats(*loadsFlag)
+		loads, err := experiment.ParseFloatList(*loadsFlag)
 		if err != nil {
 			fatal(err)
 		}
+		spec.Loads = loads
 	}
-	algs := experiment.Fig6Algorithms
+	spec.Algorithms = experiment.Fig6Algorithms
 	if *algsFlag != "" && *algsFlag != "all" {
-		algs = nil
+		spec.Algorithms = nil
 		for _, a := range strings.Split(*algsFlag, ",") {
-			algs = append(algs, experiment.Algorithm(strings.TrimSpace(a)))
+			spec.Algorithms = append(spec.Algorithms, experiment.Algorithm(strings.TrimSpace(a)))
 		}
 	} else if *algsFlag == "all" {
-		algs = experiment.AllAlgorithms
+		spec.Algorithms = experiment.AllAlgorithms
+	}
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		fatal(err)
 	}
 
-	points, err := experiment.Sweep(algs, experiment.Config{
-		N:       *n,
-		Traffic: experiment.TrafficKind(*trafficKind),
-		Loads:   loads,
-		Slots:   sim.Slot(*slots),
-		Seed:    *seed,
-	})
+	results, err := experiment.RunStudy(spec, experiment.StudyConfig{ResultsPath: *out})
 	if err != nil {
 		fatal(err)
 	}
 	if *csvOut {
-		if err := experiment.RenderCSV(os.Stdout, points); err != nil {
+		if err := experiment.RenderStudyCSV(os.Stdout, results); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	fmt.Printf("Average delay (slots) vs load, N=%d, %s traffic, %d measured slots/point\n\n",
+	fmt.Printf("Average delay (slots) vs load, N=%d, %s traffic, %d measured slots/point",
 		*n, *trafficKind, *slots)
-	experiment.RenderCurves(os.Stdout, points)
+	if *replicas > 1 {
+		fmt.Printf(", %d replicas (±95%% CI)", *replicas)
+	}
+	fmt.Printf("\n\n")
+	experiment.RenderStudyCurves(os.Stdout, results)
 	if *detail {
 		fmt.Println()
-		experiment.RenderDetail(os.Stdout, points)
+		experiment.RenderStudyDetail(os.Stdout, results)
 	}
-}
-
-func parseFloats(s string) ([]float64, error) {
-	var out []float64
-	for _, f := range strings.Split(s, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad float %q: %v", f, err)
-		}
-		out = append(out, v)
-	}
-	return out, nil
 }
 
 func fatal(err error) {

@@ -3,6 +3,11 @@
 // delay in cycles) as a function of switch size under worst-burstiness
 // Bernoulli batch arrivals at load rho.
 //
+// It is a thin wrapper over the study engine: the flags assemble a
+// kind="markov" Spec (the closed-form chain model evaluated over a
+// Sizes x Loads grid) and hand it to experiment.RunStudy; cmd/sweep runs
+// the same study with `-builtin fig5`.
+//
 // Usage:
 //
 //	fig5 [-rho 0.9] [-ns 8,...,1024] [-verify]
@@ -16,9 +21,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"strconv"
-	"strings"
 
+	"sprinklers/internal/experiment"
 	"sprinklers/internal/markov"
 )
 
@@ -29,38 +33,42 @@ func main() {
 	cycles := flag.Int64("cycles", 2_000_000, "Monte-Carlo cycles per point when verifying")
 	flag.Parse()
 
-	ns, err := parseInts(*nsFlag)
+	ns, err := experiment.ParseIntList(*nsFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fig5:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+
+	spec := experiment.Spec{
+		Name:  "fig5",
+		Kind:  experiment.MarkovStudy,
+		Loads: []float64{*rho},
+		Sizes: ns,
+	}.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		fatal(err)
+	}
+	results, err := experiment.RunStudy(spec, experiment.StudyConfig{})
+	if err != nil {
+		fatal(err)
 	}
 
 	fmt.Printf("Figure 5: expected intermediate-stage delay (cycles) at rho=%.2f\n", *rho)
-	if *verify {
-		fmt.Printf("%8s %14s %14s %14s\n", "N", "closed-form", "stationary", "monte-carlo")
-	} else {
+	if !*verify {
 		fmt.Printf("%8s %14s\n", "N", "delay/periods")
-	}
-	for _, n := range ns {
-		cf := markov.MeanQueueClosedForm(n, *rho)
-		if !*verify {
-			fmt.Printf("%8d %14.1f\n", n, cf)
-			continue
+		for _, r := range results {
+			fmt.Printf("%8d %14.1f\n", r.N, r.MeanDelay)
 		}
-		num := markov.MeanQueueNumeric(n, *rho)
-		mc := markov.SimulateMeanQueue(n, *rho, *cycles, rand.New(rand.NewSource(int64(n))))
-		fmt.Printf("%8d %14.1f %14.1f %14.1f\n", n, cf, num, mc)
+		return
+	}
+	fmt.Printf("%8s %14s %14s %14s\n", "N", "closed-form", "stationary", "monte-carlo")
+	for _, r := range results {
+		num := markov.MeanQueueNumeric(r.N, *rho)
+		mc := markov.SimulateMeanQueue(r.N, *rho, *cycles, rand.New(rand.NewSource(int64(r.N))))
+		fmt.Printf("%8d %14.1f %14.1f %14.1f\n", r.N, r.MeanDelay, num, mc)
 	}
 }
 
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, f := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			return nil, fmt.Errorf("bad integer %q: %v", f, err)
-		}
-		out = append(out, v)
-	}
-	return out, nil
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fig5:", err)
+	os.Exit(1)
 }

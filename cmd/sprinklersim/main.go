@@ -32,14 +32,46 @@ func main() {
 	warmup := flag.Int64("warmup", 0, "warmup slots (default slots/5)")
 	seed := flag.Int64("seed", 1, "random seed")
 	burst := flag.Float64("burst", 0, "mean on/off burst length; 0 = Bernoulli arrivals as in the paper")
+	scheduler := flag.String("scheduler", "gated", "sprinklers input scheduler: gated (Sec. 3.4 LSF) or greedy (ablation)")
 	flag.Parse()
+
+	if *n < 2 || *n&(*n-1) != 0 {
+		fatal(fmt.Errorf("-n %d is not a power of two >= 2", *n))
+	}
+	if !(*load > 0 && *load < 1) {
+		fatal(fmt.Errorf("-load %v outside (0, 1)", *load))
+	}
+	if *burst != 0 && *burst < 1 {
+		fatal(fmt.Errorf("-burst %v invalid (0 = Bernoulli, otherwise mean burst length >= 1)", *burst))
+	}
+	if *slots <= 0 {
+		fatal(fmt.Errorf("-slots %d <= 0", *slots))
+	}
+	// -scheduler selects between the gated LSF scheduler of Sec. 3.4 and the
+	// greedy ablation variant; it is only meaningful for the Sprinklers
+	// architecture, where it maps onto the two experiment algorithms.
+	algorithm := experiment.Algorithm(*alg)
+	switch *scheduler {
+	case "gated":
+		// The paper's default; sprinklers-greedy stays greedy if asked for
+		// explicitly via -alg.
+	case "greedy":
+		switch algorithm {
+		case experiment.Sprinklers, experiment.SprinklersGreedy:
+			algorithm = experiment.SprinklersGreedy
+		default:
+			fatal(fmt.Errorf("-scheduler greedy only applies to -alg sprinklers (got %q)", *alg))
+		}
+	default:
+		fatal(fmt.Errorf("-scheduler %q invalid: want gated or greedy", *scheduler))
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	m, err := experiment.Pattern(experiment.TrafficKind(*trafficKind), *n, *load, rng)
 	if err != nil {
 		fatal(err)
 	}
-	sw, err := experiment.NewSwitch(experiment.Algorithm(*alg), m, *seed)
+	sw, err := experiment.NewSwitch(algorithm, m, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -60,7 +92,7 @@ func main() {
 		sim.RunConfig{Warmup: w, Slots: sim.Slot(*slots)},
 		stats.Multi{delay, reorder})
 
-	fmt.Printf("architecture : %s\n", *alg)
+	fmt.Printf("architecture : %s\n", algorithm)
 	fmt.Printf("traffic      : %s, N=%d, load=%.3f", *trafficKind, *n, *load)
 	if *burst > 0 {
 		fmt.Printf(", bursty (mean burst %.0f)", *burst)

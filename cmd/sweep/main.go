@@ -1,0 +1,223 @@
+// Command sweep runs a declarative simulation study: a JSON Spec describing
+// the full grid of algorithms x traffic kinds x loads x switch sizes x
+// burstiness, with any number of independently-seeded replicas per point,
+// aggregated into mean delay/throughput with 95% confidence intervals.
+//
+// With -out, finished points are appended to a JSONL checkpoint as they
+// complete; re-running the same spec against the same file skips everything
+// already recorded, so an interrupted sweep resumes where it stopped and
+// ends byte-identical to an uninterrupted run.
+//
+// Usage:
+//
+//	sweep -spec study.json [-out results.jsonl] [-csv|-detail] [-quiet]
+//	sweep -builtin fig6|fig7|fig5|table1|smoke [-replicas 5] [-out ...]
+//	sweep -algs sprinklers,foff -traffic uniform -ns 32 \
+//	      -loads 0.5,0.9 -replicas 3 -slots 200000 [-out ...]
+//
+// Exit status: 0 on success, 1 on error, 3 when -halt-after stopped the run
+// at the checkpoint limit (used by the CI resume test to simulate a kill).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sprinklers/internal/experiment"
+	"sprinklers/internal/sim"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "path to a JSON study spec")
+	builtin := flag.String("builtin", "", "built-in study: fig6, fig7, fig5, table1, smoke")
+	name := flag.String("name", "", "study name (flag-built specs)")
+	kind := flag.String("kind", "sim", "study kind: sim, markov, bound (flag-built specs)")
+	algsFlag := flag.String("algs", "", "comma-separated algorithms, or \"all\" (flag-built specs)")
+	trafficFlag := flag.String("traffic", "uniform", "comma-separated traffic kinds (flag-built specs)")
+	nsFlag := flag.String("ns", "32", "comma-separated switch sizes (flag-built specs)")
+	loadsFlag := flag.String("loads", "", "comma-separated loads (default: the paper's grid)")
+	burstsFlag := flag.String("bursts", "", "comma-separated mean burst lengths; 0 = Bernoulli (overrides spec when set)")
+	replicas := flag.Int("replicas", 0, "independently-seeded runs per point (overrides spec when set)")
+	slots := flag.Int64("slots", 0, "measured slots per replica (overrides spec when set)")
+	warmup := flag.Int64("warmup", 0, "warmup slots (default slots/5)")
+	seed := flag.Int64("seed", 0, "study base seed (overrides spec when set)")
+	out := flag.String("out", "", "JSONL checkpoint file; appended as points finish, resumed if it exists")
+	par := flag.Int("par", 0, "worker parallelism (default GOMAXPROCS)")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of the text tables")
+	detail := flag.Bool("detail", false, "print per-point detail after the tables")
+	quiet := flag.Bool("quiet", false, "suppress live progress on stderr")
+	emitSpec := flag.Bool("emit-spec", false, "print the resolved spec as JSON and exit without running")
+	haltAfter := flag.Int("halt-after", 0, "stop after recording this many new points (simulates a mid-study kill; exit 3)")
+	switchwide := flag.Bool("switchwide", false, "bound studies: also print the switch-wide union bound")
+	flag.Parse()
+
+	spec, err := buildSpec(specArgs{
+		specPath: *specPath, builtin: *builtin, name: *name, kind: *kind,
+		algs: *algsFlag, traffic: *trafficFlag, ns: *nsFlag, loads: *loadsFlag,
+		bursts: *burstsFlag, replicas: *replicas, slots: *slots,
+		warmup: *warmup, seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		fatal(err)
+	}
+	if *emitSpec {
+		if err := writeSpec(os.Stdout, spec); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	cfg := experiment.StudyConfig{
+		Parallelism:     *par,
+		ResultsPath:     *out,
+		HaltAfterPoints: *haltAfter,
+	}
+	if !*quiet {
+		cfg.Progress = func(done, total int, r experiment.PointResult) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s  mean-delay %.1f", done, total, r.PointKey, r.MeanDelay)
+			if r.Replicas > 1 {
+				fmt.Fprintf(os.Stderr, "±%.1f (%d replicas)", r.DelayCI95, r.Replicas)
+			}
+			if r.QueueOverload != "" {
+				fmt.Fprintf(os.Stderr, "  overload %s", r.QueueOverload)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+
+	results, err := experiment.RunStudy(spec, cfg)
+	if err == experiment.ErrHalted {
+		fmt.Fprintf(os.Stderr, "sweep: halted after %d new points; resume with the same -spec and -out\n", *haltAfter)
+		os.Exit(3)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *csvOut:
+		if err := experiment.RenderStudyCSV(os.Stdout, results); err != nil {
+			fatal(err)
+		}
+	case spec.Kind == experiment.MarkovStudy:
+		fmt.Printf("Expected intermediate-stage delay (cycles) versus switch size\n\n")
+		experiment.RenderMarkovTable(os.Stdout, results)
+	case spec.Kind == experiment.BoundStudy:
+		fmt.Printf("Upper bound on the per-queue overload probability\n\n")
+		experiment.RenderBoundTable(os.Stdout, results, *switchwide)
+	default:
+		label := spec.Name
+		if label == "" {
+			label = "study"
+		}
+		fmt.Printf("%s: average delay (slots) vs load, %d replicas/point, %d measured slots/replica\n\n",
+			label, spec.Replicas, spec.Slots)
+		experiment.RenderStudyCurves(os.Stdout, results)
+		if *detail {
+			fmt.Println()
+			experiment.RenderStudyDetail(os.Stdout, results)
+		}
+	}
+}
+
+type specArgs struct {
+	specPath, builtin, name, kind    string
+	algs, traffic, ns, loads, bursts string
+	replicas                         int
+	slots, warmup, seed              int64
+}
+
+// buildSpec resolves the study: an explicit -spec file wins, then -builtin,
+// then a spec assembled from the grid flags. -loads/-bursts/-replicas/
+// -slots/-warmup/-seed override whatever the spec or builtin carries, so
+// "fig6 with error bars" is just `sweep -builtin fig6 -replicas 5`.
+func buildSpec(a specArgs) (experiment.Spec, error) {
+	var spec experiment.Spec
+	switch {
+	case a.specPath != "":
+		s, err := experiment.LoadSpec(a.specPath)
+		if err != nil {
+			return spec, err
+		}
+		spec = s
+	case a.builtin != "":
+		s, err := experiment.BuiltinSpec(a.builtin)
+		if err != nil {
+			return spec, err
+		}
+		spec = s
+	default:
+		spec = experiment.Spec{
+			Name: a.name,
+			Kind: experiment.SpecKind(a.kind),
+		}
+		if spec.Kind == experiment.SimStudy {
+			switch a.algs {
+			case "", "paper":
+				spec.Algorithms = experiment.Fig6Algorithms
+			case "all":
+				spec.Algorithms = experiment.AllAlgorithms
+			default:
+				for _, s := range strings.Split(a.algs, ",") {
+					spec.Algorithms = append(spec.Algorithms, experiment.Algorithm(strings.TrimSpace(s)))
+				}
+			}
+			for _, s := range strings.Split(a.traffic, ",") {
+				spec.Traffic = append(spec.Traffic, experiment.TrafficKind(strings.TrimSpace(s)))
+			}
+		}
+		ns, err := experiment.ParseIntList(a.ns)
+		if err != nil {
+			return spec, err
+		}
+		spec.Sizes = ns
+		spec.Loads = experiment.PaperLoads
+	}
+	if a.bursts != "" {
+		bs, err := experiment.ParseFloatList(a.bursts)
+		if err != nil {
+			return spec, err
+		}
+		spec.Bursts = bs
+	}
+	if a.loads != "" {
+		ls, err := experiment.ParseFloatList(a.loads)
+		if err != nil {
+			return spec, err
+		}
+		spec.Loads = ls
+	}
+	if a.replicas > 0 {
+		spec.Replicas = a.replicas
+	}
+	if a.slots > 0 {
+		spec.Slots = sim.Slot(a.slots)
+	}
+	if a.warmup > 0 {
+		spec.Warmup = sim.Slot(a.warmup)
+	}
+	if a.seed != 0 {
+		spec.Seed = a.seed
+	}
+	return spec, nil
+}
+
+func writeSpec(w *os.File, spec experiment.Spec) error {
+	b, err := experiment.MarshalSpecIndent(spec)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, string(b))
+	return err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -3,6 +3,11 @@
 // N-port Sprinklers switch is overloaded, for a grid of input loads and
 // switch sizes.
 //
+// It is a thin wrapper over the study engine: the flags assemble a
+// kind="bound" Spec (the Theorem 2 bound evaluated over a Sizes x Loads
+// grid) and hand it to experiment.RunStudy; cmd/sweep runs the same study
+// with `-builtin table1`.
+//
 // Usage:
 //
 //	table1 [-ns 1024,2048,4096] [-rhos 0.90,...,0.97] [-switchwide]
@@ -15,12 +20,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
-	"strconv"
-	"strings"
 
-	"sprinklers/internal/bound"
+	"sprinklers/internal/experiment"
 )
 
 func main() {
@@ -29,81 +31,31 @@ func main() {
 	switchwide := flag.Bool("switchwide", false, "also print the union bound over all 2N^2 queues")
 	flag.Parse()
 
-	ns, err := parseInts(*nsFlag)
+	ns, err := experiment.ParseIntList(*nsFlag)
 	if err != nil {
 		fatal(err)
 	}
-	rhos, err := parseFloats(*rhosFlag)
+	rhos, err := experiment.ParseFloatList(*rhosFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	spec := experiment.Spec{
+		Name:  "table1",
+		Kind:  experiment.BoundStudy,
+		Loads: rhos,
+		Sizes: ns,
+	}.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		fatal(err)
+	}
+	results, err := experiment.RunStudy(spec, experiment.StudyConfig{})
 	if err != nil {
 		fatal(err)
 	}
 
 	fmt.Println("Table 1: upper bound on the per-queue overload probability")
-	fmt.Printf("%-6s", "rho")
-	for _, n := range ns {
-		fmt.Printf(" %14s", fmt.Sprintf("N=%d", n))
-	}
-	fmt.Println()
-	for _, rho := range rhos {
-		fmt.Printf("%-6.2f", rho)
-		for _, n := range ns {
-			fmt.Printf(" %14s", formatLogProb(bound.LogQueueOverload(n, rho)))
-		}
-		fmt.Println()
-	}
-	if *switchwide {
-		fmt.Println("\nSwitch-wide union bound (2N^2 queues)")
-		fmt.Printf("%-6s", "rho")
-		for _, n := range ns {
-			fmt.Printf(" %14s", fmt.Sprintf("N=%d", n))
-		}
-		fmt.Println()
-		for _, rho := range rhos {
-			fmt.Printf("%-6.2f", rho)
-			for _, n := range ns {
-				fmt.Printf(" %14s", formatLogProb(bound.LogSwitchOverload(n, rho)))
-			}
-			fmt.Println()
-		}
-	}
-	fmt.Printf("\nTheorem 1: the bound is exactly 0 below load 2/3 + 1/(3N^2) (= %.6f at N=%d).\n",
-		bound.FeasibilityThreshold(ns[0]), ns[0])
-}
-
-// formatLogProb renders e^lp in scientific notation straight from the log
-// value, avoiding float64 underflow.
-func formatLogProb(lp float64) string {
-	if math.IsInf(lp, -1) {
-		return "0"
-	}
-	log10 := lp / math.Ln10
-	exp := int(math.Floor(log10))
-	mant := math.Pow(10, log10-float64(exp))
-	return fmt.Sprintf("%.2fe%+03d", mant, exp)
-}
-
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, f := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			return nil, fmt.Errorf("bad integer %q: %v", f, err)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func parseFloats(s string) ([]float64, error) {
-	var out []float64
-	for _, f := range strings.Split(s, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad float %q: %v", f, err)
-		}
-		out = append(out, v)
-	}
-	return out, nil
+	experiment.RenderBoundTable(os.Stdout, results, *switchwide)
 }
 
 func fatal(err error) {

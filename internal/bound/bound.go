@@ -21,6 +21,7 @@
 package bound
 
 import (
+	"fmt"
 	"math"
 )
 
@@ -148,3 +149,17 @@ var (
 	PaperTable1Rhos = []float64{0.90, 0.91, 0.92, 0.93, 0.94, 0.95, 0.96, 0.97}
 	PaperTable1Ns   = []int{1024, 2048, 4096}
 )
+
+// FormatLog renders e^lp in scientific notation straight from the natural-log
+// value, so bounds far below float64's underflow threshold print exactly (the
+// paper's Table 1 bottoms out around 1e-30 for this reason). -Inf renders as
+// "0".
+func FormatLog(lp float64) string {
+	if math.IsInf(lp, -1) {
+		return "0"
+	}
+	log10 := lp / math.Ln10
+	exp := int(math.Floor(log10))
+	mant := math.Pow(10, log10-float64(exp))
+	return fmt.Sprintf("%.2fe%+03d", mant, exp)
+}

@@ -152,6 +152,9 @@ type Config struct {
 	Slots  sim.Slot
 	Warmup sim.Slot
 	Seed   int64
+	// Burst selects the arrival process: 0 runs Bernoulli arrivals as in
+	// the paper, b >= 1 runs on/off arrivals with mean burst length b.
+	Burst float64
 	// Parallelism bounds concurrent points; 0 means GOMAXPROCS.
 	Parallelism int
 }
@@ -181,7 +184,12 @@ func RunPoint(alg Algorithm, cfg Config, load float64) (Point, error) {
 	if err != nil {
 		return Point{}, err
 	}
-	src := traffic.NewBernoulli(m, rand.New(rand.NewSource(cfg.Seed+int64(load*1e6))))
+	var src sim.Source
+	if cfg.Burst > 0 {
+		src = traffic.NewOnOff(m, cfg.Burst, rand.New(rand.NewSource(cfg.Seed+int64(load*1e6))))
+	} else {
+		src = traffic.NewBernoulli(m, rand.New(rand.NewSource(cfg.Seed+int64(load*1e6))))
+	}
 	delay := &stats.Delay{}
 	reorder := stats.NewReorder(cfg.N)
 	offered, delivered := sim.Run(sw, src,

@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+)
+
+// The JSONL checkpoint format: a header line carrying the full normalized
+// Spec, then one PointResult per line in canonical grid order (Spec.Points
+// order). Because the writer only ever appends the next point in that order,
+// a valid file is always a prefix of the full study — which is what lets a
+// resumed run skip the prefix and still produce a file byte-identical to an
+// uninterrupted one. The header makes resume reject not just a different
+// grid but any parameter drift (slots, seed, replicas, warmup): a checkpoint
+// is only ever extended by the exact study that started it. The only damage
+// a kill can cause is a partial final line, which loadResults detects and
+// the runner truncates before appending.
+
+// resultsHeader is the first line of a checkpoint file.
+type resultsHeader struct {
+	Spec *Spec `json:"spec"`
+}
+
+// appendHeader writes the spec header line of a fresh checkpoint.
+func appendHeader(w io.Writer, spec Spec) error {
+	b, err := json.Marshal(resultsHeader{Spec: &spec})
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// appendResult writes one result line.
+func appendResult(w io.Writer, r PointResult) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// loadResults reads the checkpoint at path and validates it against the
+// normalized spec and its grid. It returns the recorded prefix of points,
+// the byte offset where valid content ends (a partial trailing line from a
+// killed run lies beyond it and should be truncated), and whether the spec
+// header was present — when it is not (fresh, missing, or truncated-at-
+// header file), the caller truncates to offset 0 and writes one. A missing
+// file is an empty checkpoint.
+func loadResults(path string, spec Spec, keys []PointKey) (_ []PointResult, end int64, hasHeader bool, _ error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, false, nil
+	}
+	if err != nil {
+		return nil, 0, false, err
+	}
+	var out []PointResult
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// Unterminated tail: a line cut mid-write by a kill. The caller
+			// truncates it away and re-runs from there.
+			break
+		}
+		line := data[off : off+nl]
+		if !hasHeader {
+			var h resultsHeader
+			if jerr := json.Unmarshal(line, &h); jerr != nil || h.Spec == nil {
+				return nil, 0, false, fmt.Errorf("experiment: results file %s has no spec header line", path)
+			}
+			if !reflect.DeepEqual(*h.Spec, spec) {
+				return nil, 0, false, fmt.Errorf("experiment: results file %s was started by a different study: recorded spec %+v, running spec %+v",
+					path, *h.Spec, spec)
+			}
+			hasHeader = true
+			off += nl + 1
+			end = int64(off)
+			continue
+		}
+		var rec PointResult
+		if jerr := json.Unmarshal(line, &rec); jerr != nil {
+			return nil, 0, false, fmt.Errorf("experiment: corrupt results file %s at byte %d: %v", path, off, jerr)
+		}
+		if len(out) >= len(keys) {
+			return nil, 0, false, fmt.Errorf("experiment: results file %s has more points than the spec", path)
+		}
+		if rec.PointKey != keys[len(out)] {
+			return nil, 0, false, fmt.Errorf("experiment: results file %s does not match the spec: point %d is %s, spec expects %s",
+				path, len(out), rec.PointKey, keys[len(out)])
+		}
+		out = append(out, rec)
+		off += nl + 1
+		end = int64(off)
+	}
+	return out, end, hasHeader, nil
+}

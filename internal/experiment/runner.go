@@ -1,0 +1,309 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"sprinklers/internal/bound"
+	"sprinklers/internal/markov"
+	"sprinklers/internal/stats"
+)
+
+// PointResult is the aggregate of every replica run at one grid point: the
+// batch-means estimate (mean over replica means) with a 95% Student-t
+// confidence half-width for delay and throughput. For analytic study kinds
+// the analytic value lands in MeanDelay (markov) or the overload strings
+// (bound). One PointResult is one line of a study's JSONL results file.
+type PointResult struct {
+	PointKey
+	Replicas int `json:"replicas,omitempty"`
+	// MeanDelay is the mean over replicas of the per-replica mean delay
+	// (slots); DelayCI95 is the 95% confidence half-width (0 with a single
+	// replica).
+	MeanDelay float64 `json:"mean_delay"`
+	DelayCI95 float64 `json:"delay_ci95,omitempty"`
+	// P99Delay and MaxDelay aggregate the per-replica tail statistics
+	// (mean of p99 estimates, max of maxima).
+	P99Delay float64 `json:"p99_delay,omitempty"`
+	MaxDelay float64 `json:"max_delay,omitempty"`
+	// Throughput is delivered/offered, averaged over replicas, with its
+	// 95% confidence half-width.
+	Throughput     float64 `json:"throughput,omitempty"`
+	ThroughputCI95 float64 `json:"throughput_ci95,omitempty"`
+	// Reordered and Delivered are totals across replicas.
+	Reordered int64 `json:"reordered,omitempty"`
+	Delivered int64 `json:"delivered,omitempty"`
+	// QueueOverload and SwitchOverload are the Table 1 bounds, rendered in
+	// the log domain (bound studies only; values like "3.10e-031" stay
+	// exact below float64 underflow).
+	QueueOverload  string `json:"queue_overload,omitempty"`
+	SwitchOverload string `json:"switch_overload,omitempty"`
+}
+
+// ErrHalted is returned by RunStudy when StudyConfig.HaltAfterPoints stopped
+// the study early; the checkpoint file holds everything recorded so far.
+var ErrHalted = errors.New("experiment: study halted at checkpoint limit")
+
+// StudyConfig controls how a study executes (everything here is runtime
+// policy, deliberately outside the Spec: the same study can run anywhere).
+type StudyConfig struct {
+	// Parallelism bounds concurrent replica simulations; 0 = GOMAXPROCS.
+	Parallelism int
+	// ResultsPath, when non-empty, is the JSONL checkpoint file. Finished
+	// points are appended in canonical grid order as they complete; if the
+	// file already holds a prefix of this spec's points, those points are
+	// loaded instead of re-simulated and the run continues after them. A
+	// partial trailing line (from a killed run) is truncated away.
+	ResultsPath string
+	// Progress, when set, is called after each point is recorded (including
+	// points loaded from the checkpoint), with done counting recorded
+	// points out of total.
+	Progress func(done, total int, r PointResult)
+	// HaltAfterPoints > 0 stops the study cleanly after recording that
+	// many NEW points, returning ErrHalted. It exists to make "kill the
+	// sweep mid-run" deterministic in tests and CI.
+	HaltAfterPoints int
+}
+
+// replicaSeed derives the seed for replica rep of grid point pi from the
+// study's base seed. splitmix64-style finalization keeps seeds deterministic
+// for a (spec, point, replica) triple — the property resume depends on —
+// while decorrelating neighboring points.
+func replicaSeed(base int64, pi, rep int) int64 {
+	z := uint64(base)*0x9e3779b97f4a7c15 + uint64(pi+1)*0xbf58476d1ce4e5b9 + uint64(rep+1)*0x94d049bb133111eb
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	s := int64(z >> 1) // non-negative; 0 would be re-defaulted by Config
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// runReplica executes one (point, replica) simulation job.
+func runReplica(spec Spec, pi int, key PointKey, rep int) (Point, error) {
+	return RunPoint(key.Algorithm, Config{
+		N:           key.N,
+		Traffic:     key.Traffic,
+		Slots:       spec.Slots,
+		Warmup:      spec.Warmup,
+		Burst:       key.Burst,
+		Seed:        replicaSeed(spec.Seed, pi, rep),
+		Parallelism: 1, // RunPoint is single-threaded; pool-level parallelism only
+	}, key.Load)
+}
+
+// analyticPoint evaluates one point of a markov or bound study.
+func analyticPoint(kind SpecKind, key PointKey) PointResult {
+	r := PointResult{PointKey: key, Replicas: 1}
+	switch kind {
+	case MarkovStudy:
+		r.MeanDelay = markov.MeanQueueClosedForm(key.N, key.Load)
+	case BoundStudy:
+		r.QueueOverload = bound.FormatLog(bound.LogQueueOverload(key.N, key.Load))
+		r.SwitchOverload = bound.FormatLog(bound.LogSwitchOverload(key.N, key.Load))
+	}
+	return r
+}
+
+// aggregate folds the replica measurements of one point into its PointResult.
+func aggregate(key PointKey, reps []Point) PointResult {
+	delays := make([]float64, len(reps))
+	thrus := make([]float64, len(reps))
+	r := PointResult{PointKey: key, Replicas: len(reps)}
+	for i, p := range reps {
+		delays[i] = p.MeanDelay
+		thrus[i] = p.Throughput
+		r.P99Delay += p.P99Delay
+		if p.MaxDelay > r.MaxDelay {
+			r.MaxDelay = p.MaxDelay
+		}
+		r.Reordered += p.Reordered
+		r.Delivered += p.Delivered
+	}
+	r.P99Delay /= float64(len(reps))
+	r.MeanDelay, r.DelayCI95 = stats.MeanCI95(delays)
+	r.Throughput, r.ThroughputCI95 = stats.MeanCI95(thrus)
+	return r
+}
+
+// RunStudy executes spec, sharding (point, replica) jobs across a worker
+// pool and aggregating each point's replicas into a PointResult. Results are
+// returned in canonical grid order.
+//
+// With cfg.ResultsPath set, finished points are appended to the JSONL file
+// strictly in grid order; a later run with the same spec and file skips the
+// recorded prefix, so an interrupted study resumes where it stopped and the
+// final file is byte-identical to an uninterrupted run's.
+func RunStudy(spec Spec, cfg StudyConfig) ([]PointResult, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	keys := spec.Points()
+	total := len(keys)
+	results := make([]PointResult, total)
+
+	start := 0
+	var out *os.File
+	if cfg.ResultsPath != "" {
+		prior, end, hasHeader, err := loadResults(cfg.ResultsPath, spec, keys)
+		if err != nil {
+			return nil, err
+		}
+		out, err = os.OpenFile(cfg.ResultsPath, os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		defer out.Close()
+		// Drop any partial trailing line left by a killed run, then append.
+		if err := out.Truncate(end); err != nil {
+			return nil, err
+		}
+		if _, err := out.Seek(end, 0); err != nil {
+			return nil, err
+		}
+		if !hasHeader {
+			if err := appendHeader(out, spec); err != nil {
+				return nil, err
+			}
+		}
+		copy(results, prior)
+		start = len(prior)
+		if cfg.Progress != nil {
+			for i := 0; i < start; i++ {
+				cfg.Progress(i+1, total, results[i])
+			}
+		}
+	}
+	if start == total {
+		return results, nil
+	}
+
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	reps := spec.Replicas
+
+	type job struct{ pi, rep int }
+	type repOut struct {
+		pi, rep int
+		p       Point       // sim kinds: one replica's measurements
+		rec     PointResult // analytic kinds: the whole point, computed in the worker
+		err     error
+	}
+	jobs := make(chan job)
+	outs := make(chan repOut)
+	quit := make(chan struct{})
+	var once sync.Once
+	stop := func() { once.Do(func() { close(quit) }) }
+	defer stop()
+
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				var ro repOut
+				ro.pi, ro.rep = jb.pi, jb.rep
+				if spec.Kind == SimStudy {
+					ro.p, ro.err = runReplica(spec, jb.pi, keys[jb.pi], jb.rep)
+				} else {
+					ro.rec = analyticPoint(spec.Kind, keys[jb.pi])
+				}
+				select {
+				case outs <- ro:
+				case <-quit:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for pi := start; pi < total; pi++ {
+			for rep := 0; rep < reps; rep++ {
+				select {
+				case jobs <- job{pi, rep}:
+				case <-quit:
+					return
+				}
+			}
+		}
+	}()
+
+	pending := make(map[int][]Point) // point index -> replica measurements
+	counts := make(map[int]int)
+	ready := make(map[int]PointResult)
+	next := start // next point index to record, in grid order
+	written := 0
+	remaining := (total - start) * reps
+	var runErr error
+
+recv:
+	for remaining > 0 {
+		ro := <-outs
+		remaining--
+		if ro.err != nil {
+			runErr = fmt.Errorf("%s: %w", keys[ro.pi], ro.err)
+			break
+		}
+		if spec.Kind != SimStudy {
+			ready[ro.pi] = ro.rec
+		} else {
+			ps := pending[ro.pi]
+			if ps == nil {
+				ps = make([]Point, reps)
+				pending[ro.pi] = ps
+			}
+			ps[ro.rep] = ro.p
+			counts[ro.pi]++
+			if counts[ro.pi] < reps {
+				continue
+			}
+			ready[ro.pi] = aggregate(keys[ro.pi], ps)
+			delete(pending, ro.pi)
+			delete(counts, ro.pi)
+		}
+		// Record every consecutive finished point, strictly in grid order:
+		// the checkpoint file is always a prefix of the canonical sequence.
+		for {
+			rec, ok := ready[next]
+			if !ok {
+				break
+			}
+			delete(ready, next)
+			if out != nil {
+				if err := appendResult(out, rec); err != nil {
+					runErr = err
+					break recv
+				}
+			}
+			results[next] = rec
+			next++
+			written++
+			if cfg.Progress != nil {
+				cfg.Progress(next, total, rec)
+			}
+			if cfg.HaltAfterPoints > 0 && written >= cfg.HaltAfterPoints {
+				stop()
+				wg.Wait()
+				return results[:next], ErrHalted
+			}
+		}
+	}
+	stop()
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	return results, nil
+}

@@ -1,0 +1,327 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"sprinklers/internal/sim"
+)
+
+// SpecKind selects what a study point computes.
+type SpecKind string
+
+const (
+	// SimStudy points run full switch simulations (the default).
+	SimStudy SpecKind = "sim"
+	// MarkovStudy points evaluate the Fig. 5 closed-form intermediate-stage
+	// delay model; the grid is Sizes x Loads and needs no replicas.
+	MarkovStudy SpecKind = "markov"
+	// BoundStudy points evaluate the Table 1 overload bounds; the grid is
+	// Sizes x Loads and needs no replicas.
+	BoundStudy SpecKind = "bound"
+)
+
+// Spec declares a full simulation study as data: the cartesian grid of
+// algorithms x traffic kinds x loads x switch sizes x burstiness, with
+// Replicas independently-seeded runs per grid point. A Spec is plain JSON, so
+// studies can be version-controlled, diffed, and resumed; cmd/sweep runs one.
+//
+// The zero values of optional fields are filled by WithDefaults; Validate
+// rejects grids the simulator cannot honor (loads outside (0,1), non-power-
+// of-two sizes, unknown algorithms).
+type Spec struct {
+	// Name labels the study in progress output and results metadata.
+	Name string `json:"name,omitempty"`
+	// Kind is the point type: "sim" (default), "markov", or "bound".
+	Kind SpecKind `json:"kind,omitempty"`
+	// Algorithms are the architectures to compare (sim studies only).
+	Algorithms []Algorithm `json:"algorithms,omitempty"`
+	// Traffic are the workload shapes to drive (sim studies only).
+	Traffic []TrafficKind `json:"traffic,omitempty"`
+	// Loads is the offered-load grid; every load must lie in (0, 1).
+	Loads []float64 `json:"loads"`
+	// Sizes is the switch-size grid; every size must be a power of two.
+	Sizes []int `json:"sizes"`
+	// Bursts is the burstiness grid: 0 runs Bernoulli arrivals as in the
+	// paper, b >= 1 runs on/off arrivals with mean burst length b.
+	Bursts []float64 `json:"bursts,omitempty"`
+	// Replicas is the number of independently-seeded runs per grid point;
+	// replica means are aggregated into a mean with a 95% confidence
+	// interval. Defaults to 1.
+	Replicas int `json:"replicas,omitempty"`
+	// Slots is the measured horizon per replica; Warmup defaults to
+	// Slots/5.
+	Slots  sim.Slot `json:"slots,omitempty"`
+	Warmup sim.Slot `json:"warmup,omitempty"`
+	// Seed is the study's base seed; every (point, replica) pair derives
+	// its own seed from it deterministically, so a study is reproducible
+	// and resumable regardless of worker scheduling.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// WithDefaults returns the spec with unset optional fields filled in.
+func (s Spec) WithDefaults() Spec {
+	if s.Kind == "" {
+		s.Kind = SimStudy
+	}
+	if len(s.Bursts) == 0 && s.Kind == SimStudy {
+		s.Bursts = []float64{0}
+	}
+	if s.Replicas == 0 {
+		s.Replicas = 1
+	}
+	if s.Slots == 0 && s.Kind == SimStudy {
+		s.Slots = 100_000
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Validate reports the first problem that would make the study unrunnable.
+// It validates the spec as given; call WithDefaults first.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case SimStudy, MarkovStudy, BoundStudy:
+	default:
+		return fmt.Errorf("experiment: unknown spec kind %q", s.Kind)
+	}
+	if len(s.Loads) == 0 {
+		return fmt.Errorf("experiment: spec has no loads")
+	}
+	for _, l := range s.Loads {
+		if !(l > 0 && l < 1) {
+			return fmt.Errorf("experiment: load %v outside (0, 1)", l)
+		}
+	}
+	if len(s.Sizes) == 0 {
+		return fmt.Errorf("experiment: spec has no sizes")
+	}
+	for _, n := range s.Sizes {
+		// The fabrics and the striping rule need a power-of-two port count
+		// (Sec. 3.1); the analytic models are defined for any N >= 2.
+		if s.Kind == SimStudy && !isPow2(n) {
+			return fmt.Errorf("experiment: size %d is not a power of two", n)
+		}
+		if n < 2 {
+			return fmt.Errorf("experiment: size %d < 2", n)
+		}
+	}
+	if s.Kind != SimStudy {
+		if len(s.Algorithms) != 0 || len(s.Traffic) != 0 {
+			return fmt.Errorf("experiment: %s studies take no algorithms or traffic kinds", s.Kind)
+		}
+		if s.Replicas > 1 {
+			return fmt.Errorf("experiment: %s studies are deterministic; replicas must be 1", s.Kind)
+		}
+		if len(s.Bursts) != 0 {
+			return fmt.Errorf("experiment: %s studies take no bursts", s.Kind)
+		}
+		return nil
+	}
+	if len(s.Algorithms) == 0 {
+		return fmt.Errorf("experiment: sim spec has no algorithms")
+	}
+	known := map[Algorithm]bool{}
+	for _, a := range AllAlgorithms {
+		known[a] = true
+	}
+	for _, a := range s.Algorithms {
+		if !known[a] {
+			return fmt.Errorf("experiment: unknown algorithm %q", a)
+		}
+	}
+	if len(s.Traffic) == 0 {
+		return fmt.Errorf("experiment: sim spec has no traffic kinds")
+	}
+	knownT := map[TrafficKind]bool{}
+	for _, k := range AllTraffic {
+		knownT[k] = true
+	}
+	for _, k := range s.Traffic {
+		if !knownT[k] {
+			return fmt.Errorf("experiment: unknown traffic kind %q", k)
+		}
+	}
+	for _, b := range s.Bursts {
+		if b != 0 && b < 1 {
+			return fmt.Errorf("experiment: burst %v invalid (0 = Bernoulli, otherwise mean burst >= 1)", b)
+		}
+	}
+	if s.Replicas < 1 {
+		return fmt.Errorf("experiment: replicas %d < 1", s.Replicas)
+	}
+	if s.Slots <= 0 {
+		return fmt.Errorf("experiment: slots %d <= 0", s.Slots)
+	}
+	if s.Warmup < 0 {
+		return fmt.Errorf("experiment: warmup %d < 0", s.Warmup)
+	}
+	return nil
+}
+
+// PointKey identifies one grid point of a study. For analytic kinds
+// (markov, bound) only N and Load are set.
+type PointKey struct {
+	Algorithm Algorithm   `json:"algorithm,omitempty"`
+	Traffic   TrafficKind `json:"traffic,omitempty"`
+	N         int         `json:"n"`
+	Load      float64     `json:"load"`
+	Burst     float64     `json:"burst,omitempty"`
+}
+
+func (k PointKey) String() string {
+	if k.Algorithm == "" {
+		return fmt.Sprintf("N=%d load=%.4g", k.N, k.Load)
+	}
+	s := fmt.Sprintf("%s %s N=%d load=%.4g", k.Algorithm, k.Traffic, k.N, k.Load)
+	if k.Burst > 0 {
+		s += fmt.Sprintf(" burst=%.4g", k.Burst)
+	}
+	return s
+}
+
+// Points enumerates the study grid in its canonical order: algorithm,
+// traffic, size, burst, then load (innermost), so curves fill progressively.
+// Checkpoint files record points in exactly this order, which is what makes
+// a resumed study byte-identical to an uninterrupted one.
+func (s Spec) Points() []PointKey {
+	var out []PointKey
+	if s.Kind != SimStudy {
+		for _, n := range s.Sizes {
+			for _, l := range s.Loads {
+				out = append(out, PointKey{N: n, Load: l})
+			}
+		}
+		return out
+	}
+	bursts := s.Bursts
+	if len(bursts) == 0 {
+		bursts = []float64{0}
+	}
+	for _, a := range s.Algorithms {
+		for _, tk := range s.Traffic {
+			for _, n := range s.Sizes {
+				for _, b := range bursts {
+					for _, l := range s.Loads {
+						out = append(out, PointKey{Algorithm: a, Traffic: tk, N: n, Load: l, Burst: b})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NumPoints returns the size of the study grid.
+func (s Spec) NumPoints() int { return len(s.Points()) }
+
+// ParseSpec decodes a JSON spec, rejecting unknown fields so typos in
+// hand-written studies fail loudly rather than silently running the default.
+func ParseSpec(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("experiment: bad spec: %w", err)
+	}
+	return s, nil
+}
+
+// MarshalSpecIndent renders the spec as indented JSON, the canonical
+// serialized form of a study (round-trips through ParseSpec).
+func MarshalSpecIndent(s Spec) ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// LoadSpec reads a JSON spec from disk.
+func LoadSpec(path string) (Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	defer f.Close()
+	return ParseSpec(f)
+}
+
+// ParseIntList parses a comma-separated integer list — the grid-flag syntax
+// shared by every cmd/ tool (e.g. "-ns 8,16,32").
+func ParseIntList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseFloatList parses a comma-separated float list (e.g. "-loads 0.5,0.9").
+func ParseFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// BuiltinSpec returns one of the named built-in studies:
+//
+//   - "fig6":   Figure 6 (uniform traffic, N=32, the paper's five curves)
+//   - "fig7":   Figure 7 (diagonal traffic, N=32)
+//   - "fig5":   Figure 5 (closed-form intermediate-stage delay vs N)
+//   - "table1": Table 1 (per-queue overload bounds)
+//   - "smoke":  a seconds-scale replicated study used by the CI resume test
+func BuiltinSpec(name string) (Spec, error) {
+	switch name {
+	case "fig6":
+		return Spec{
+			Name: "fig6", Kind: SimStudy,
+			Algorithms: Fig6Algorithms, Traffic: []TrafficKind{UniformTraffic},
+			Loads: PaperLoads, Sizes: []int{32}, Slots: 1_000_000, Seed: 1,
+		}, nil
+	case "fig7":
+		return Spec{
+			Name: "fig7", Kind: SimStudy,
+			Algorithms: Fig6Algorithms, Traffic: []TrafficKind{DiagonalTraffic},
+			Loads: PaperLoads, Sizes: []int{32}, Slots: 1_000_000, Seed: 1,
+		}, nil
+	case "fig5":
+		return Spec{
+			Name: "fig5", Kind: MarkovStudy,
+			Loads: []float64{0.9}, Sizes: []int{8, 16, 32, 64, 128, 256, 512, 768, 1024},
+		}, nil
+	case "table1":
+		return Spec{
+			Name: "table1", Kind: BoundStudy,
+			Loads: []float64{0.90, 0.91, 0.92, 0.93, 0.94, 0.95, 0.96, 0.97},
+			Sizes: []int{1024, 2048, 4096},
+		}, nil
+	case "smoke":
+		return Spec{
+			Name: "smoke", Kind: SimStudy,
+			Algorithms: []Algorithm{Sprinklers, LoadBalanced},
+			Traffic:    []TrafficKind{UniformTraffic},
+			Loads:      []float64{0.3, 0.6, 0.9},
+			Sizes:      []int{8},
+			Replicas:   3,
+			Slots:      2_000,
+			Seed:       1,
+		}, nil
+	default:
+		return Spec{}, fmt.Errorf("experiment: unknown built-in spec %q", name)
+	}
+}

@@ -1,0 +1,154 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func validSpec() Spec {
+	return Spec{
+		Name:       "test",
+		Kind:       SimStudy,
+		Algorithms: []Algorithm{Sprinklers, FOFF},
+		Traffic:    []TrafficKind{UniformTraffic, DiagonalTraffic},
+		Loads:      []float64{0.3, 0.9},
+		Sizes:      []int{8, 16},
+		Bursts:     []float64{0, 8},
+		Replicas:   3,
+		Slots:      5000,
+		Seed:       7,
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	in := validSpec()
+	b, err := MarshalSpecIndent(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseSpec(strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip changed the spec:\nin:  %+v\nout: %+v", in, out)
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	_, err := ParseSpec(strings.NewReader(`{"loads": [0.5], "sizes": [8], "replicass": 3}`))
+	if err == nil {
+		t.Fatal("typoed field should fail to parse")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		bad    string // substring expected in the error; "" = must be valid
+	}{
+		{"valid", func(s *Spec) {}, ""},
+		{"no loads", func(s *Spec) { s.Loads = nil }, "no loads"},
+		{"load zero", func(s *Spec) { s.Loads = []float64{0} }, "outside (0, 1)"},
+		{"load one", func(s *Spec) { s.Loads = []float64{1} }, "outside (0, 1)"},
+		{"load negative", func(s *Spec) { s.Loads = []float64{-0.5} }, "outside (0, 1)"},
+		{"no sizes", func(s *Spec) { s.Sizes = nil }, "no sizes"},
+		{"non-pow2 size", func(s *Spec) { s.Sizes = []int{24} }, "power of two"},
+		{"size too small", func(s *Spec) { s.Sizes = []int{1} }, "< 2"},
+		{"no algorithms", func(s *Spec) { s.Algorithms = nil }, "no algorithms"},
+		{"unknown algorithm", func(s *Spec) { s.Algorithms = []Algorithm{"nonsense"} }, "unknown algorithm"},
+		{"no traffic", func(s *Spec) { s.Traffic = nil }, "no traffic"},
+		{"unknown traffic", func(s *Spec) { s.Traffic = []TrafficKind{"nonsense"} }, "unknown traffic"},
+		{"fractional burst", func(s *Spec) { s.Bursts = []float64{0.5} }, "burst"},
+		{"negative replicas", func(s *Spec) { s.Replicas = -1 }, "replicas"},
+		{"negative slots", func(s *Spec) { s.Slots = -10 }, "slots"},
+		{"negative warmup", func(s *Spec) { s.Warmup = -1 }, "warmup"},
+		{"unknown kind", func(s *Spec) { s.Kind = "nonsense" }, "unknown spec kind"},
+	}
+	for _, c := range cases {
+		s := validSpec()
+		c.mutate(&s)
+		err := s.Validate()
+		if c.bad == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.bad) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.bad)
+		}
+	}
+}
+
+func TestSpecValidationAnalytic(t *testing.T) {
+	s := Spec{Kind: MarkovStudy, Loads: []float64{0.9}, Sizes: []int{8, 768}}.WithDefaults()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("markov spec with non-pow2 size should validate (model is defined for any N): %v", err)
+	}
+	s.Algorithms = []Algorithm{Sprinklers}
+	if err := s.Validate(); err == nil {
+		t.Fatal("markov spec with algorithms should fail")
+	}
+	s = Spec{Kind: BoundStudy, Loads: []float64{0.9}, Sizes: []int{1024}, Replicas: 3}
+	if err := s.WithDefaults().Validate(); err == nil {
+		t.Fatal("bound spec with replicas > 1 should fail loudly (deterministic)")
+	}
+	s = Spec{Kind: BoundStudy, Loads: []float64{0.9}, Sizes: []int{1024}, Bursts: []float64{8}}
+	if err := s.WithDefaults().Validate(); err == nil {
+		t.Fatal("bound spec with bursts should fail loudly")
+	}
+}
+
+func TestSpecPointsCanonicalOrder(t *testing.T) {
+	s := Spec{
+		Kind:       SimStudy,
+		Algorithms: []Algorithm{UFS, PF},
+		Traffic:    []TrafficKind{UniformTraffic},
+		Loads:      []float64{0.2, 0.6},
+		Sizes:      []int{8},
+		Bursts:     []float64{0},
+		Replicas:   1,
+		Slots:      1000,
+	}
+	want := []PointKey{
+		{Algorithm: UFS, Traffic: UniformTraffic, N: 8, Load: 0.2},
+		{Algorithm: UFS, Traffic: UniformTraffic, N: 8, Load: 0.6},
+		{Algorithm: PF, Traffic: UniformTraffic, N: 8, Load: 0.2},
+		{Algorithm: PF, Traffic: UniformTraffic, N: 8, Load: 0.6},
+	}
+	got := s.Points()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("points:\ngot  %+v\nwant %+v", got, want)
+	}
+	if s.NumPoints() != 4 {
+		t.Fatalf("NumPoints = %d", s.NumPoints())
+	}
+	// Analytic grids iterate sizes then loads.
+	m := Spec{Kind: MarkovStudy, Loads: []float64{0.5, 0.9}, Sizes: []int{8, 16}}
+	mw := []PointKey{{N: 8, Load: 0.5}, {N: 8, Load: 0.9}, {N: 16, Load: 0.5}, {N: 16, Load: 0.9}}
+	if got := m.Points(); !reflect.DeepEqual(got, mw) {
+		t.Fatalf("markov points: %+v", got)
+	}
+}
+
+func TestBuiltinSpecs(t *testing.T) {
+	for _, name := range []string{"fig6", "fig7", "fig5", "table1", "smoke"} {
+		s, err := BuiltinSpec(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := s.WithDefaults().Validate(); err != nil {
+			t.Errorf("%s does not validate: %v", name, err)
+		}
+	}
+	if _, err := BuiltinSpec("nonsense"); err == nil {
+		t.Fatal("unknown builtin should error")
+	}
+	s, _ := BuiltinSpec("smoke")
+	if s.Replicas < 3 {
+		t.Fatalf("smoke spec must exercise replica aggregation, got %d replicas", s.Replicas)
+	}
+}

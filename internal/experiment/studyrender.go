@@ -1,0 +1,249 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+
+	"sprinklers/internal/bound"
+)
+
+// Renderers for study results (PointResult). The older []Point renderers in
+// render.go remain for the single-replica Sweep API.
+
+// padLeft right-aligns s in a w-rune field ("±" is multibyte, so byte-width
+// fmt padding would misalign confidence-interval cells).
+func padLeft(s string, w int) string {
+	if n := utf8.RuneCountInString(s); n < w {
+		return strings.Repeat(" ", w-n) + s
+	}
+	return s
+}
+
+// cell renders a point's delay as "mean" or "mean±half" when the study has
+// enough replicas for a confidence interval.
+func cell(r PointResult) string {
+	if r.Replicas > 1 {
+		return fmt.Sprintf("%.1f±%.1f", r.MeanDelay, r.DelayCI95)
+	}
+	return fmt.Sprintf("%.1f", r.MeanDelay)
+}
+
+type curveGroup struct {
+	traffic TrafficKind
+	n       int
+	burst   float64
+}
+
+// RenderStudyCurves writes delay-versus-load tables, one per (traffic, size,
+// burst) combination, with a column per algorithm. With more than one
+// replica per point every cell carries its 95% confidence half-width.
+func RenderStudyCurves(w io.Writer, rs []PointResult) {
+	if len(rs) == 0 {
+		return
+	}
+	var groups []curveGroup
+	byGroup := map[curveGroup][]PointResult{}
+	for _, r := range rs {
+		g := curveGroup{r.Traffic, r.N, r.Burst}
+		if _, ok := byGroup[g]; !ok {
+			groups = append(groups, g)
+		}
+		byGroup[g] = append(byGroup[g], r)
+	}
+	multi := len(groups) > 1
+	for gi, g := range groups {
+		if gi > 0 {
+			fmt.Fprintln(w)
+		}
+		if multi || g.burst > 0 {
+			fmt.Fprintf(w, "traffic=%s N=%d", g.traffic, g.n)
+			if g.burst > 0 {
+				fmt.Fprintf(w, " burst=%.4g", g.burst)
+			}
+			fmt.Fprintln(w)
+		}
+		pts := byGroup[g]
+		var algs []Algorithm
+		seen := map[Algorithm]bool{}
+		loadsSet := map[float64]bool{}
+		byKey := map[string]PointResult{}
+		for _, p := range pts {
+			if !seen[p.Algorithm] {
+				seen[p.Algorithm] = true
+				algs = append(algs, p.Algorithm)
+			}
+			loadsSet[p.Load] = true
+			byKey[fmt.Sprintf("%s/%v", p.Algorithm, p.Load)] = p
+		}
+		loads := make([]float64, 0, len(loadsSet))
+		for l := range loadsSet {
+			loads = append(loads, l)
+		}
+		sort.Float64s(loads)
+
+		fmt.Fprintf(w, "%-6s", "load")
+		for _, a := range algs {
+			fmt.Fprint(w, " ", padLeft(string(a), 16))
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%s\n", strings.Repeat("-", 6+17*len(algs)))
+		for _, l := range loads {
+			fmt.Fprintf(w, "%-6.2f", l)
+			for _, a := range algs {
+				p, ok := byKey[fmt.Sprintf("%s/%v", a, l)]
+				if !ok {
+					fmt.Fprint(w, " ", padLeft("-", 16))
+					continue
+				}
+				fmt.Fprint(w, " ", padLeft(cell(p), 16))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// RenderStudyCSV writes one CSV row per grid point, including the replica
+// count and confidence half-widths, ready for external plotting.
+func RenderStudyCSV(w io.Writer, rs []PointResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"algorithm", "traffic", "n", "load", "burst", "replicas",
+		"mean_delay_slots", "delay_ci95", "p99_delay_slots", "max_delay_slots",
+		"throughput", "throughput_ci95", "reordered", "delivered",
+		"queue_overload", "switch_overload",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		rec := []string{
+			string(r.Algorithm),
+			string(r.Traffic),
+			strconv.Itoa(r.N),
+			strconv.FormatFloat(r.Load, 'f', 4, 64),
+			strconv.FormatFloat(r.Burst, 'f', 2, 64),
+			strconv.Itoa(r.Replicas),
+			strconv.FormatFloat(r.MeanDelay, 'f', 3, 64),
+			strconv.FormatFloat(r.DelayCI95, 'f', 3, 64),
+			strconv.FormatFloat(r.P99Delay, 'f', 1, 64),
+			strconv.FormatFloat(r.MaxDelay, 'f', 0, 64),
+			strconv.FormatFloat(r.Throughput, 'f', 6, 64),
+			strconv.FormatFloat(r.ThroughputCI95, 'f', 6, 64),
+			strconv.FormatInt(r.Reordered, 10),
+			strconv.FormatInt(r.Delivered, 10),
+			r.QueueOverload,
+			r.SwitchOverload,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderStudyDetail writes per-point diagnosis rows (tails, throughput with
+// CI, reordering).
+func RenderStudyDetail(w io.Writer, rs []PointResult) {
+	fmt.Fprintf(w, "%-18s %-10s %5s %6s %6s %4s %16s %10s %10s %16s %10s\n",
+		"algorithm", "traffic", "N", "load", "burst", "reps",
+		"mean-delay", "p99-delay", "max-delay", "thruput", "reordered")
+	for _, r := range rs {
+		fmt.Fprintf(w, "%-18s %-10s %5d %6.2f %6.2f %4d %s %10.1f %10.0f %s %10d\n",
+			r.Algorithm, r.Traffic, r.N, r.Load, r.Burst, r.Replicas,
+			padLeft(cell(r), 16), r.P99Delay, r.MaxDelay,
+			padLeft(fmt.Sprintf("%.4f±%.4f", r.Throughput, r.ThroughputCI95), 16),
+			r.Reordered)
+	}
+}
+
+// RenderMarkovTable writes a markov study (Fig. 5) as delay versus switch
+// size, one column per load.
+func RenderMarkovTable(w io.Writer, rs []PointResult) {
+	var ns []int
+	var loads []float64
+	seenN := map[int]bool{}
+	seenL := map[float64]bool{}
+	byKey := map[string]PointResult{}
+	for _, r := range rs {
+		if !seenN[r.N] {
+			seenN[r.N] = true
+			ns = append(ns, r.N)
+		}
+		if !seenL[r.Load] {
+			seenL[r.Load] = true
+			loads = append(loads, r.Load)
+		}
+		byKey[fmt.Sprintf("%d/%v", r.N, r.Load)] = r
+	}
+	fmt.Fprintf(w, "%8s", "N")
+	for _, l := range loads {
+		fmt.Fprintf(w, " %14s", fmt.Sprintf("rho=%.2f", l))
+	}
+	fmt.Fprintln(w)
+	for _, n := range ns {
+		fmt.Fprintf(w, "%8d", n)
+		for _, l := range loads {
+			fmt.Fprintf(w, " %14.1f", byKey[fmt.Sprintf("%d/%v", n, l)].MeanDelay)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderBoundTable writes a bound study (Table 1) as overload probability
+// versus load, one column per switch size. With switchwide it appends the
+// union bound over all 2N^2 queues.
+func RenderBoundTable(w io.Writer, rs []PointResult, switchwide bool) {
+	var ns []int
+	var loads []float64
+	seenN := map[int]bool{}
+	seenL := map[float64]bool{}
+	byKey := map[string]PointResult{}
+	for _, r := range rs {
+		if !seenN[r.N] {
+			seenN[r.N] = true
+			ns = append(ns, r.N)
+		}
+		if !seenL[r.Load] {
+			seenL[r.Load] = true
+			loads = append(loads, r.Load)
+		}
+		byKey[fmt.Sprintf("%d/%v", r.N, r.Load)] = r
+	}
+	sort.Ints(ns)
+	sort.Float64s(loads)
+	header := func() {
+		fmt.Fprintf(w, "%-6s", "rho")
+		for _, n := range ns {
+			fmt.Fprintf(w, " %14s", fmt.Sprintf("N=%d", n))
+		}
+		fmt.Fprintln(w)
+	}
+	header()
+	for _, l := range loads {
+		fmt.Fprintf(w, "%-6.2f", l)
+		for _, n := range ns {
+			fmt.Fprintf(w, " %14s", byKey[fmt.Sprintf("%d/%v", n, l)].QueueOverload)
+		}
+		fmt.Fprintln(w)
+	}
+	if switchwide {
+		fmt.Fprintln(w, "\nSwitch-wide union bound (2N^2 queues)")
+		header()
+		for _, l := range loads {
+			fmt.Fprintf(w, "%-6.2f", l)
+			for _, n := range ns {
+				fmt.Fprintf(w, " %14s", byKey[fmt.Sprintf("%d/%v", n, l)].SwitchOverload)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if len(ns) > 0 {
+		fmt.Fprintf(w, "\nTheorem 1: the bound is exactly 0 below load 2/3 + 1/(3N^2) (= %.6f at N=%d).\n",
+			bound.FeasibilityThreshold(ns[0]), ns[0])
+	}
+}

@@ -1,0 +1,102 @@
+package stats
+
+import "math"
+
+// Replica and batch-means aggregation. A simulation study runs every point
+// several times with independent seeds (replicas); each replica's mean is one
+// sample of the steady-state quantity, and the classical batch-means estimator
+// turns those samples into a mean with a Student-t confidence interval. The
+// same machinery serves within-run batch means: split one long measurement
+// series into contiguous batches and feed the batch means to MeanCI95.
+
+// tCrit95 holds the two-sided 95% Student-t critical values t_{0.975,df} for
+// df = 1..30 (index df-1).
+var tCrit95 = [30]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCrit95Anchors extends the table sparsely beyond df=30; between anchors the
+// critical value is interpolated linearly in 1/df, which is accurate to three
+// decimals over this range.
+var tCrit95Anchors = []struct {
+	df int
+	t  float64
+}{
+	{30, 2.042}, {40, 2.021}, {60, 2.000}, {120, 1.980},
+}
+
+// TCrit95 returns the two-sided 95% Student-t critical value for the given
+// degrees of freedom (df <= 0 returns +Inf: no interval can be formed from a
+// single sample).
+func TCrit95(df int) float64 {
+	switch {
+	case df <= 0:
+		return math.Inf(1)
+	case df <= 30:
+		return tCrit95[df-1]
+	case df > 120:
+		// Beyond the table, t ~= z + c/df captures the 1/df approach to the
+		// normal quantile (exact to ~1e-4 over this range).
+		return 1.960 + 2.4/float64(df)
+	}
+	for i := 0; i+1 < len(tCrit95Anchors); i++ {
+		lo, hi := tCrit95Anchors[i], tCrit95Anchors[i+1]
+		if df <= hi.df {
+			x := 1 / float64(df)
+			xl, xh := 1/float64(lo.df), 1/float64(hi.df)
+			return hi.t + (lo.t-hi.t)*(x-xh)/(xl-xh)
+		}
+	}
+	return 1.960
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MeanCI95 returns the sample mean of xs and the half-width of its 95%
+// confidence interval, treating the samples as i.i.d. (the batch-means
+// assumption: each x is one replica's — or one batch's — mean). With fewer
+// than two samples the half-width is 0: no variance estimate exists.
+func MeanCI95(xs []float64) (mean, half float64) {
+	mean = Mean(xs)
+	n := len(xs)
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	s2 := ss / float64(n-1) // sample variance
+	half = TCrit95(n-1) * math.Sqrt(s2/float64(n))
+	return mean, half
+}
+
+// BatchMeans splits series into k contiguous equal-size batches (discarding
+// the remainder at the tail) and returns the mean of each batch. Feeding the
+// result to MeanCI95 yields the classical batch-means confidence interval for
+// a single autocorrelated measurement series. It returns nil when the series
+// cannot fill k batches.
+func BatchMeans(series []float64, k int) []float64 {
+	if k <= 0 || len(series) < k {
+		return nil
+	}
+	size := len(series) / k
+	out := make([]float64, k)
+	for b := 0; b < k; b++ {
+		out[b] = Mean(series[b*size : (b+1)*size])
+	}
+	return out
+}

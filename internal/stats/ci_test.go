@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTCrit95KnownValues(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706}, {2, 4.303}, {9, 2.262}, {30, 2.042},
+		{40, 2.021}, {60, 2.000}, {120, 1.980}, {1000, 1.9624},
+	}
+	for _, c := range cases {
+		if got := TCrit95(c.df); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("TCrit95(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	if !math.IsInf(TCrit95(0), 1) {
+		t.Error("TCrit95(0) should be +Inf: no interval from one sample")
+	}
+}
+
+func TestTCrit95Monotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		v := TCrit95(df)
+		if v > prev {
+			t.Fatalf("TCrit95 not non-increasing at df=%d: %v > %v", df, v, prev)
+		}
+		if v < 1.959 {
+			t.Fatalf("TCrit95(%d) = %v below the normal limit", df, v)
+		}
+		prev = v
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	mean, half := MeanCI95([]float64{1, 2, 3, 4, 5})
+	if mean != 3 {
+		t.Errorf("mean = %v", mean)
+	}
+	// s^2 = 2.5, half = t_{0.975,4} * sqrt(2.5/5) = 2.776 * 0.70710678...
+	want := 2.776 * math.Sqrt(0.5)
+	if math.Abs(half-want) > 1e-9 {
+		t.Errorf("half = %v, want %v", half, want)
+	}
+
+	if m, h := MeanCI95([]float64{7}); m != 7 || h != 0 {
+		t.Errorf("single sample: mean %v half %v, want 7, 0", m, h)
+	}
+	if m, h := MeanCI95(nil); m != 0 || h != 0 {
+		t.Errorf("empty: mean %v half %v", m, h)
+	}
+	// Identical samples: zero-width interval.
+	if _, h := MeanCI95([]float64{4, 4, 4, 4}); h != 0 {
+		t.Errorf("constant samples: half = %v, want 0", h)
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	series := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	got := BatchMeans(series, 2)
+	if len(got) != 2 || got[0] != 3 || got[1] != 8 {
+		t.Errorf("k=2: %v", got)
+	}
+	got = BatchMeans(series, 3) // batch size 3, tail {10} discarded
+	if len(got) != 3 || got[0] != 2 || got[1] != 5 || got[2] != 8 {
+		t.Errorf("k=3: %v", got)
+	}
+	if BatchMeans(series[:1], 2) != nil {
+		t.Error("series shorter than k should return nil")
+	}
+	if BatchMeans(series, 0) != nil {
+		t.Error("k=0 should return nil")
+	}
+}
