@@ -331,7 +331,7 @@ func stepLoop(b *testing.B, s steppedSwitch) {
 // each architecture at N=32, load 0.9 (the cost of one Step includes both
 // fabrics and all ports).
 func BenchmarkSwitchStep(b *testing.B) {
-	for _, alg := range experiment.AllAlgorithms {
+	for _, alg := range experiment.AllAlgorithms() {
 		b.Run(string(alg), func(b *testing.B) {
 			s := steadySwitch(b, string(alg), 4096, func() (sim.Switch, sim.Source) {
 				m := traffic.Uniform(benchN, 0.9)

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"sprinklers/internal/experiment"
+	"sprinklers/internal/registry"
 	"sprinklers/internal/sim"
 )
 
@@ -39,12 +40,18 @@ func main() {
 	out := flag.String("out", "", "JSONL checkpoint file; appended as points finish, resumed if it exists")
 	detail := flag.Bool("detail", false, "print per-point detail (throughput, tails, reordering)")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of the text table")
+	list := flag.Bool("list", false, "list registered architectures and workloads with their options, then exit")
 	flag.Parse()
+
+	if *list {
+		registry.WriteCatalog(os.Stdout)
+		return
+	}
 
 	spec := experiment.Spec{
 		Name:     "delaycurves",
 		Kind:     experiment.SimStudy,
-		Traffic:  []experiment.TrafficKind{experiment.TrafficKind(*trafficKind)},
+		Traffic:  experiment.Traffics(experiment.TrafficKind(*trafficKind)),
 		Loads:    experiment.PaperLoads,
 		Sizes:    []int{*n},
 		Replicas: *replicas,
@@ -62,14 +69,15 @@ func main() {
 		}
 		spec.Loads = loads
 	}
-	spec.Algorithms = experiment.Fig6Algorithms
+	spec.Algorithms = experiment.Algs(experiment.Fig6Algorithms...)
 	if *algsFlag != "" && *algsFlag != "all" {
 		spec.Algorithms = nil
 		for _, a := range strings.Split(*algsFlag, ",") {
-			spec.Algorithms = append(spec.Algorithms, experiment.Algorithm(strings.TrimSpace(a)))
+			spec.Algorithms = append(spec.Algorithms,
+				experiment.AlgorithmSpec{Name: experiment.Algorithm(strings.TrimSpace(a))})
 		}
 	} else if *algsFlag == "all" {
-		spec.Algorithms = experiment.AllAlgorithms
+		spec.Algorithms = experiment.Algs(experiment.AllAlgorithms()...)
 	}
 	spec = spec.WithDefaults()
 	if err := spec.Validate(); err != nil {

@@ -24,6 +24,7 @@ import (
 
 	"sprinklers/internal/experiment"
 	"sprinklers/internal/markov"
+	"sprinklers/internal/registry"
 )
 
 func main() {
@@ -31,7 +32,13 @@ func main() {
 	nsFlag := flag.String("ns", "8,16,32,64,128,256,512,768,1024", "comma-separated switch sizes")
 	verify := flag.Bool("verify", false, "cross-check against numeric solve and simulation")
 	cycles := flag.Int64("cycles", 2_000_000, "Monte-Carlo cycles per point when verifying")
+	list := flag.Bool("list", false, "list registered architectures and workloads with their options, then exit")
 	flag.Parse()
+
+	if *list {
+		registry.WriteCatalog(os.Stdout)
+		return
+	}
 
 	ns, err := experiment.ParseIntList(*nsFlag)
 	if err != nil {

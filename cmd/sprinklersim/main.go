@@ -8,6 +8,10 @@
 //
 //	sprinklersim -alg sprinklers -traffic uniform -n 32 -load 0.9 \
 //	             -slots 1000000 [-burst 16] [-seed 1] [-scheduler gated|greedy]
+//	sprinklersim -list
+//
+// The architecture and traffic names come from the shared registry; -list
+// prints every registered name with its option schema.
 package main
 
 import (
@@ -15,17 +19,21 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"sprinklers/internal/core"
 	"sprinklers/internal/experiment"
+	"sprinklers/internal/registry"
 	"sprinklers/internal/sim"
 	"sprinklers/internal/stats"
 	"sprinklers/internal/traffic"
 )
 
 func main() {
-	alg := flag.String("alg", "sprinklers", "architecture: load-balanced, ufs, foff, pf, sprinklers, sprinklers-greedy, tcp-hashing")
-	trafficKind := flag.String("traffic", "uniform", "traffic pattern: uniform, diagonal, hotspot, zipf, permutation")
+	alg := flag.String("alg", "sprinklers",
+		"architecture: "+strings.Join(registry.ArchitectureNames(), ", "))
+	trafficKind := flag.String("traffic", "uniform",
+		"traffic pattern: "+strings.Join(registry.WorkloadNames(), ", "))
 	n := flag.Int("n", 32, "switch size (power of two)")
 	load := flag.Float64("load", 0.9, "per-input load in (0, 1)")
 	slots := flag.Int64("slots", 1_000_000, "measured slots")
@@ -33,7 +41,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	burst := flag.Float64("burst", 0, "mean on/off burst length; 0 = Bernoulli arrivals as in the paper")
 	scheduler := flag.String("scheduler", "gated", "sprinklers input scheduler: gated (Sec. 3.4 LSF) or greedy (ablation)")
+	list := flag.Bool("list", false, "list registered architectures and workloads with their options, then exit")
 	flag.Parse()
+
+	if *list {
+		registry.WriteCatalog(os.Stdout)
+		return
+	}
 
 	if *n < 2 || *n&(*n-1) != 0 {
 		fatal(fmt.Errorf("-n %d is not a power of two >= 2", *n))

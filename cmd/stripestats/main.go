@@ -7,8 +7,18 @@
 //
 // Usage:
 //
-//	stripestats [-n 32] [-load 0.95] [-traffic uniform|diagonal|zipf|adversarial]
-//	            [-trials 20000] [-seed 1]
+//	stripestats [-n 32] [-load 0.95] [-traffic adversarial|<registered workload>]
+//	            [-topt key=value ...] [-trials 20000] [-seed 1]
+//	stripestats -list
+//
+// -traffic accepts any workload registered in the shared registry (the
+// analysis uses the rate split of input 0) plus "adversarial", the
+// dyadic worst-case split of the Theorem 2 analysis. -topt sets a
+// registered workload option (repeatable), e.g.
+// `-traffic zipf -topt exponent=1.2`; omitted options take their schema
+// defaults (-list shows them). Note: -traffic zipf previously hard-coded
+// exponent 1.2; it now takes the registered default of 1.0 unless set
+// via -topt.
 package main
 
 import (
@@ -17,33 +27,80 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 
+	_ "sprinklers/internal/arch" // link the registered workloads
 	"sprinklers/internal/bound"
 	"sprinklers/internal/loadbalance"
-	"sprinklers/internal/traffic"
+	"sprinklers/internal/registry"
 )
+
+// optFlags collects repeated -topt key=value assignments; values parse as
+// number, then bool, then string, matching the option types the registry
+// schemas declare (the schema itself rejects mismatches).
+type optFlags map[string]any
+
+func (o optFlags) String() string { return fmt.Sprintf("%v", map[string]any(o)) }
+
+func (o optFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	if f, err := strconv.ParseFloat(v, 64); err == nil {
+		o[k] = f
+	} else if b, err := strconv.ParseBool(v); err == nil {
+		o[k] = b
+	} else {
+		o[k] = v
+	}
+	return nil
+}
 
 func main() {
 	n := flag.Int("n", 32, "switch size (power of two)")
-	load := flag.Float64("load", 0.95, "total input-port load")
-	kind := flag.String("traffic", "adversarial", "rate split: uniform, diagonal, zipf, adversarial")
+	load := flag.Float64("load", 0.95, "total input-port load in (0, 1)")
+	kind := flag.String("traffic", "adversarial",
+		"rate split: adversarial, "+strings.Join(registry.WorkloadNames(), ", "))
+	topts := optFlags{}
+	flag.Var(topts, "topt", "workload option as key=value (repeatable); see -list for schemas")
 	trials := flag.Int("trials", 20000, "Monte-Carlo placements")
 	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list registered architectures and workloads with their options, then exit")
 	flag.Parse()
 
+	if *list {
+		registry.WriteCatalog(os.Stdout)
+		return
+	}
+	if *n < 2 || *n&(*n-1) != 0 {
+		fatal(fmt.Errorf("-n %d is not a power of two >= 2", *n))
+	}
+	if !(*load > 0 && *load < 1) {
+		fatal(fmt.Errorf("-load %v outside (0, 1)", *load))
+	}
+	if *trials <= 0 {
+		fatal(fmt.Errorf("-trials %d <= 0", *trials))
+	}
+
 	var rates []float64
-	switch *kind {
-	case "uniform":
-		rates = traffic.Uniform(*n, *load).Row(0)
-	case "diagonal":
-		rates = traffic.Diagonal(*n, *load).Row(0)
-	case "zipf":
-		rates = traffic.Zipf(*n, *load, 1.2).Row(0)
-	case "adversarial":
+	if *kind == "adversarial" {
+		if len(topts) > 0 {
+			fatal(fmt.Errorf("the adversarial split takes no -topt options"))
+		}
 		rates = loadbalance.AdversarialSplit(*n, *load)
-	default:
-		fmt.Fprintf(os.Stderr, "stripestats: unknown traffic %q\n", *kind)
-		os.Exit(1)
+	} else {
+		if _, ok := registry.LookupWorkload(*kind); !ok {
+			fatal(fmt.Errorf("-traffic %q unknown: want adversarial or a registered workload (%s)",
+				*kind, strings.Join(registry.WorkloadNames(), ", ")))
+		}
+		rows, err := registry.WorkloadRates(*kind, *n, *load,
+			rand.New(rand.NewSource(*seed)), topts)
+		if err != nil {
+			fatal(err)
+		}
+		rates = rows[0]
 	}
 
 	mc := loadbalance.Estimate(rates, *n, *trials,
@@ -69,4 +126,9 @@ func main() {
 		fmt.Println("\n(The bound is loose at small N; it tightens dramatically as N grows —")
 		fmt.Println(" see cmd/table1 for the N >= 1024 regime of the paper's Table 1.)")
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stripestats:", err)
+	os.Exit(1)
 }

@@ -14,6 +14,13 @@
 //	sweep -builtin fig6|fig7|fig5|table1|smoke [-replicas 5] [-out ...]
 //	sweep -algs sprinklers,foff -traffic uniform -ns 32 \
 //	      -loads 0.5,0.9 -replicas 3 -slots 200000 [-out ...]
+//	sweep -list
+//
+// Algorithm and traffic names resolve through the shared registry (-list
+// enumerates them). In a spec file an entry may carry typed options, e.g.
+// {"algorithm": "pf", "options": {"threshold": 64}} or {"traffic":
+// "hotspot", "options": {"fraction": 0.75}}; an "as" label keeps two
+// option variants of one architecture distinct within a single study.
 //
 // Exit status: 0 on success, 1 on error, 3 when -halt-after stopped the run
 // at the checkpoint limit (used by the CI resume test to simulate a kill).
@@ -26,6 +33,7 @@ import (
 	"strings"
 
 	"sprinklers/internal/experiment"
+	"sprinklers/internal/registry"
 	"sprinklers/internal/sim"
 )
 
@@ -51,7 +59,13 @@ func main() {
 	emitSpec := flag.Bool("emit-spec", false, "print the resolved spec as JSON and exit without running")
 	haltAfter := flag.Int("halt-after", 0, "stop after recording this many new points (simulates a mid-study kill; exit 3)")
 	switchwide := flag.Bool("switchwide", false, "bound studies: also print the switch-wide union bound")
+	list := flag.Bool("list", false, "list registered architectures and workloads with their options, then exit")
 	flag.Parse()
+
+	if *list {
+		registry.WriteCatalog(os.Stdout)
+		return
+	}
 
 	spec, err := buildSpec(specArgs{
 		specPath: *specPath, builtin: *builtin, name: *name, kind: *kind,
@@ -160,16 +174,18 @@ func buildSpec(a specArgs) (experiment.Spec, error) {
 		if spec.Kind == experiment.SimStudy {
 			switch a.algs {
 			case "", "paper":
-				spec.Algorithms = experiment.Fig6Algorithms
+				spec.Algorithms = experiment.Algs(experiment.Fig6Algorithms...)
 			case "all":
-				spec.Algorithms = experiment.AllAlgorithms
+				spec.Algorithms = experiment.Algs(experiment.AllAlgorithms()...)
 			default:
 				for _, s := range strings.Split(a.algs, ",") {
-					spec.Algorithms = append(spec.Algorithms, experiment.Algorithm(strings.TrimSpace(s)))
+					spec.Algorithms = append(spec.Algorithms,
+						experiment.AlgorithmSpec{Name: experiment.Algorithm(strings.TrimSpace(s))})
 				}
 			}
 			for _, s := range strings.Split(a.traffic, ",") {
-				spec.Traffic = append(spec.Traffic, experiment.TrafficKind(strings.TrimSpace(s)))
+				spec.Traffic = append(spec.Traffic,
+					experiment.TrafficSpec{Name: experiment.TrafficKind(strings.TrimSpace(s))})
 			}
 		}
 		ns, err := experiment.ParseIntList(a.ns)

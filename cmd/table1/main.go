@@ -23,13 +23,20 @@ import (
 	"os"
 
 	"sprinklers/internal/experiment"
+	"sprinklers/internal/registry"
 )
 
 func main() {
 	nsFlag := flag.String("ns", "1024,2048,4096", "comma-separated switch sizes (powers of two)")
 	rhosFlag := flag.String("rhos", "0.90,0.91,0.92,0.93,0.94,0.95,0.96,0.97", "comma-separated input loads")
 	switchwide := flag.Bool("switchwide", false, "also print the union bound over all 2N^2 queues")
+	list := flag.Bool("list", false, "list registered architectures and workloads with their options, then exit")
 	flag.Parse()
+
+	if *list {
+		registry.WriteCatalog(os.Stdout)
+		return
+	}
 
 	ns, err := experiment.ParseIntList(*nsFlag)
 	if err != nil {

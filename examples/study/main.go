@@ -17,8 +17,8 @@ import (
 func main() {
 	spec := experiment.Spec{
 		Name:       "example-study",
-		Algorithms: []experiment.Algorithm{experiment.Sprinklers, experiment.FOFF},
-		Traffic:    []experiment.TrafficKind{experiment.UniformTraffic},
+		Algorithms: experiment.Algs(experiment.Sprinklers, experiment.FOFF),
+		Traffic:    experiment.Traffics(experiment.UniformTraffic),
 		Loads:      []float64{0.3, 0.6, 0.9},
 		Sizes:      []int{16},
 		Replicas:   5, // five seeds per point -> error bars

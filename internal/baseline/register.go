@@ -1,0 +1,18 @@
+package baseline
+
+import (
+	"sprinklers/internal/registry"
+	"sprinklers/internal/sim"
+)
+
+func init() {
+	registry.RegisterArchitecture(registry.Architecture{
+		Name:            "load-balanced",
+		Description:     "baseline Birkhoff–von Neumann load-balanced switch; minimal delay, no ordering guarantee",
+		OrderPreserving: false,
+		Rank:            10,
+		New: func(cfg registry.ArchConfig) (sim.Switch, error) {
+			return New(cfg.N), nil
+		},
+	})
+}

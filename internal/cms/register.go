@@ -1,0 +1,18 @@
+package cms
+
+import (
+	"sprinklers/internal/registry"
+	"sprinklers/internal/sim"
+)
+
+func init() {
+	registry.RegisterArchitecture(registry.Architecture{
+		Name:            "cms",
+		Description:     "Concurrent Matching Switch: per-port token matching, frame-pipelined and reordering-free",
+		OrderPreserving: true,
+		Rank:            80,
+		New: func(cfg registry.ArchConfig) (sim.Switch, error) {
+			return New(cfg.N), nil
+		},
+	})
+}

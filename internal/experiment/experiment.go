@@ -2,31 +2,32 @@
 // study (Sec. 6): it constructs any of the compared switch architectures,
 // drives it with the paper's workloads, and produces the delay-versus-load
 // series of Figures 6 and 7 plus the ablation sweeps described in DESIGN.md.
+//
+// Architectures and workloads are resolved through internal/registry, so
+// anything registered there — including architectures registered by
+// downstream programs — can be named in a Spec or constructed by NewSwitch
+// with per-instance options validated against the registered schema.
 package experiment
 
 import (
-	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
 
-	"sprinklers/internal/baseline"
-	"sprinklers/internal/cms"
-	"sprinklers/internal/core"
-	"sprinklers/internal/foff"
-	"sprinklers/internal/hashing"
-	"sprinklers/internal/pf"
+	_ "sprinklers/internal/arch" // link every built-in architecture and workload
+	"sprinklers/internal/registry"
 	"sprinklers/internal/sim"
 	"sprinklers/internal/stats"
 	"sprinklers/internal/traffic"
-	"sprinklers/internal/ufs"
 )
 
 // Algorithm names a switch architecture under test.
 type Algorithm string
 
 // The architectures compared in the paper's evaluation, plus the greedy
-// Sprinklers variant and TCP hashing used by the ablation studies.
+// Sprinklers variant and TCP hashing used by the ablation studies. These
+// constants are conveniences; any name registered in internal/registry is
+// equally valid.
 const (
 	LoadBalanced     Algorithm = "load-balanced" // baseline, no ordering guarantee
 	UFS              Algorithm = "ufs"
@@ -42,61 +43,52 @@ const (
 // legend order.
 var Fig6Algorithms = []Algorithm{LoadBalanced, UFS, FOFF, PF, Sprinklers}
 
-// AllAlgorithms lists every architecture the harness can build.
-var AllAlgorithms = []Algorithm{
-	LoadBalanced, UFS, FOFF, PF, Sprinklers, SprinklersGreedy, TCPHashing, CMS,
+// AllAlgorithms lists every registered architecture in canonical (registry
+// rank) order. It is a function, not a frozen slice, so architectures
+// registered after this package initializes — e.g. by a downstream program
+// extending the harness — are included.
+func AllAlgorithms() []Algorithm {
+	names := registry.ArchitectureNames()
+	out := make([]Algorithm, len(names))
+	for i, n := range names {
+		out[i] = Algorithm(n)
+	}
+	return out
 }
 
 // OrderPreserving reports whether the architecture guarantees in-order
-// delivery (FOFF counts: its embedded resequencer restores order).
+// delivery, per its registry metadata (FOFF counts: its embedded
+// resequencer restores order). Unregistered names report true, the safe
+// default for the reordering assertions built on this.
 func (a Algorithm) OrderPreserving() bool {
-	switch a {
-	case LoadBalanced, SprinklersGreedy:
-		return false
-	default:
-		return true
+	if arch, ok := registry.LookupArchitecture(string(a)); ok {
+		return arch.OrderPreserving
 	}
+	return true
 }
 
-// NewSwitch constructs the named architecture for rate matrix m. The
-// Sprinklers variants size their stripes from m, matching the paper's
-// assumption that the (long-term) VOQ rates are known to the switch.
+// NewSwitch constructs the named architecture for rate matrix m with every
+// option at its schema default. The rate-aware architectures size
+// themselves from m, matching the paper's assumption that the (long-term)
+// VOQ rates are known to the switch.
 func NewSwitch(alg Algorithm, m *traffic.Matrix, seed int64) (sim.Switch, error) {
-	n := m.N()
-	switch alg {
-	case LoadBalanced:
-		return baseline.New(n), nil
-	case UFS:
-		return ufs.New(n), nil
-	case FOFF:
-		return foff.New(n), nil
-	case PF:
-		return pf.New(n, pf.AdaptiveThreshold), nil
-	case Sprinklers, SprinklersGreedy:
-		sched := core.GatedLSF
-		if alg == SprinklersGreedy {
-			sched = core.GreedyLSF
-		}
-		return core.New(core.Config{
-			N:         n,
-			Rates:     m.Rows(), // deep copy: the switch must not alias matrix state
-			Scheduler: sched,
-			Rand:      rand.New(rand.NewSource(seed)),
-		})
-	case TCPHashing:
-		return hashing.New(n, rand.New(rand.NewSource(seed))), nil
-	case CMS:
-		return cms.New(n), nil
-	default:
-		return nil, fmt.Errorf("experiment: unknown algorithm %q", alg)
-	}
+	return NewSwitchOpts(alg, m, seed, nil)
+}
+
+// NewSwitchOpts is NewSwitch with an explicit option assignment, validated
+// against the architecture's registered schema (nil selects every default).
+func NewSwitchOpts(alg Algorithm, m *traffic.Matrix, seed int64, opts map[string]any) (sim.Switch, error) {
+	// Rows is a deep copy — the switch must not alias matrix state — and
+	// the registry invokes it only for architectures that consume rates.
+	return registry.NewArchitecture(string(alg), m.N(), m.Rows, seed, opts)
 }
 
 // TrafficKind selects one of the evaluation workload shapes.
 type TrafficKind string
 
 // Workload shapes. Uniform and Diagonal are the two used by Figs. 6 and 7;
-// the others extend the study.
+// the others extend the study. As with algorithms, any registered workload
+// name is valid.
 const (
 	UniformTraffic     TrafficKind = "uniform"
 	DiagonalTraffic    TrafficKind = "diagonal"
@@ -105,27 +97,30 @@ const (
 	PermutationTraffic TrafficKind = "permutation"
 )
 
-// AllTraffic lists the supported workload shapes.
-var AllTraffic = []TrafficKind{
-	UniformTraffic, DiagonalTraffic, HotspotTraffic, ZipfTraffic, PermutationTraffic,
+// AllTraffic lists every registered workload in canonical order.
+func AllTraffic() []TrafficKind {
+	names := registry.WorkloadNames()
+	out := make([]TrafficKind, len(names))
+	for i, n := range names {
+		out[i] = TrafficKind(n)
+	}
+	return out
 }
 
-// Pattern builds the rate matrix for the named workload at the given load.
+// Pattern builds the rate matrix for the named workload at the given load
+// with every option at its schema default.
 func Pattern(kind TrafficKind, n int, load float64, rng *rand.Rand) (*traffic.Matrix, error) {
-	switch kind {
-	case UniformTraffic:
-		return traffic.Uniform(n, load), nil
-	case DiagonalTraffic:
-		return traffic.Diagonal(n, load), nil
-	case HotspotTraffic:
-		return traffic.Hotspot(n, load, 0.5), nil
-	case ZipfTraffic:
-		return traffic.Zipf(n, load, 1.0), nil
-	case PermutationTraffic:
-		return traffic.Permutation(rng.Perm(n), load), nil
-	default:
-		return nil, fmt.Errorf("experiment: unknown traffic kind %q", kind)
+	return PatternOpts(kind, n, load, rng, nil)
+}
+
+// PatternOpts is Pattern with an explicit option assignment, validated
+// against the workload's registered schema (nil selects every default).
+func PatternOpts(kind TrafficKind, n int, load float64, rng *rand.Rand, opts map[string]any) (*traffic.Matrix, error) {
+	rates, err := registry.WorkloadRates(string(kind), n, load, rng, opts)
+	if err != nil {
+		return nil, err
 	}
+	return traffic.NewMatrix(rates), nil
 }
 
 // Point is one measured point of a delay-versus-load curve.
@@ -155,6 +150,10 @@ type Config struct {
 	// Burst selects the arrival process: 0 runs Bernoulli arrivals as in
 	// the paper, b >= 1 runs on/off arrivals with mean burst length b.
 	Burst float64
+	// AlgOptions and TrafficOptions parameterize the architecture and the
+	// workload beyond name selection; nil selects every schema default.
+	AlgOptions     registry.Options
+	TrafficOptions registry.Options
 	// Parallelism bounds concurrent points; 0 means GOMAXPROCS.
 	Parallelism int
 }
@@ -176,11 +175,11 @@ func (c Config) withDefaults() Config {
 func RunPoint(alg Algorithm, cfg Config, load float64) (Point, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	m, err := Pattern(cfg.Traffic, cfg.N, load, rng)
+	m, err := PatternOpts(cfg.Traffic, cfg.N, load, rng, cfg.TrafficOptions)
 	if err != nil {
 		return Point{}, err
 	}
-	sw, err := NewSwitch(alg, m, cfg.Seed)
+	sw, err := NewSwitchOpts(alg, m, cfg.Seed, cfg.AlgOptions)
 	if err != nil {
 		return Point{}, err
 	}

@@ -11,7 +11,7 @@ func TestNewSwitchAllAlgorithms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, alg := range AllAlgorithms {
+	for _, alg := range AllAlgorithms() {
 		sw, err := NewSwitch(alg, m, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
@@ -27,7 +27,7 @@ func TestNewSwitchAllAlgorithms(t *testing.T) {
 
 func TestPatternKinds(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	for _, kind := range AllTraffic {
+	for _, kind := range AllTraffic() {
 		m, err := Pattern(kind, 16, 0.8, rng)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
@@ -46,7 +46,7 @@ func TestPatternKinds(t *testing.T) {
 // must not (at a load where reordering is plentiful).
 func TestRunPointOrderingMatchesContract(t *testing.T) {
 	cfg := Config{N: 8, Traffic: UniformTraffic, Slots: 30000, Seed: 3}
-	for _, alg := range AllAlgorithms {
+	for _, alg := range AllAlgorithms() {
 		p, err := RunPoint(alg, cfg, 0.8)
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)

@@ -86,16 +86,22 @@ func replicaSeed(base int64, pi, rep int) int64 {
 	return s
 }
 
-// runReplica executes one (point, replica) simulation job.
+// runReplica executes one (point, replica) simulation job. The point key
+// carries series labels; the spec entries resolve them back to registered
+// names and option assignments.
 func runReplica(spec Spec, pi int, key PointKey, rep int) (Point, error) {
-	return RunPoint(key.Algorithm, Config{
-		N:           key.N,
-		Traffic:     key.Traffic,
-		Slots:       spec.Slots,
-		Warmup:      spec.Warmup,
-		Burst:       key.Burst,
-		Seed:        replicaSeed(spec.Seed, pi, rep),
-		Parallelism: 1, // RunPoint is single-threaded; pool-level parallelism only
+	alg := spec.algEntry(key.Algorithm)
+	tk := spec.trafficEntry(key.Traffic)
+	return RunPoint(alg.Name, Config{
+		N:              key.N,
+		Traffic:        tk.Name,
+		Slots:          spec.Slots,
+		Warmup:         spec.Warmup,
+		Burst:          key.Burst,
+		Seed:           replicaSeed(spec.Seed, pi, rep),
+		AlgOptions:     alg.Options,
+		TrafficOptions: tk.Options,
+		Parallelism:    1, // RunPoint is single-threaded; pool-level parallelism only
 	}, key.Load)
 }
 

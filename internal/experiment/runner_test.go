@@ -19,8 +19,8 @@ func smokeSpec(replicas int) Spec {
 	return Spec{
 		Name:       "runner-test",
 		Kind:       SimStudy,
-		Algorithms: []Algorithm{Sprinklers, LoadBalanced},
-		Traffic:    []TrafficKind{UniformTraffic},
+		Algorithms: Algs(Sprinklers, LoadBalanced),
+		Traffic:    Traffics(UniformTraffic),
 		Loads:      []float64{0.4, 0.8},
 		Sizes:      []int{8},
 		Replicas:   replicas,
@@ -62,7 +62,7 @@ func TestRunStudyCIShrinksWithReplicas(t *testing.T) {
 	narrow := func(replicas int) float64 {
 		s := smokeSpec(replicas)
 		s.Loads = []float64{0.8}
-		s.Algorithms = []Algorithm{LoadBalanced}
+		s.Algorithms = Algs(LoadBalanced)
 		rs, err := RunStudy(s, StudyConfig{})
 		if err != nil {
 			t.Fatal(err)
@@ -218,7 +218,7 @@ func TestRunStudyProgress(t *testing.T) {
 
 func TestRunStudyBurstGrid(t *testing.T) {
 	spec := smokeSpec(1)
-	spec.Algorithms = []Algorithm{Sprinklers}
+	spec.Algorithms = Algs(Sprinklers)
 	spec.Loads = []float64{0.5}
 	spec.Bursts = []float64{0, 8}
 	rs, err := RunStudy(spec, StudyConfig{})

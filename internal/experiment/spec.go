@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"sprinklers/internal/registry"
 	"sprinklers/internal/sim"
 )
 
@@ -25,23 +27,154 @@ const (
 	BoundStudy SpecKind = "bound"
 )
 
+// AlgorithmSpec selects one architecture series of a study: a registered
+// architecture name, an optional per-series option assignment validated
+// against the architecture's registered schema, and an optional display
+// label. In JSON an entry is either a bare name string ("pf") or an object
+// ({"algorithm": "pf", "options": {"threshold": 64}}); the object form with
+// an "as" label lets one study sweep the same architecture under several
+// option assignments (e.g. a PF threshold sweep) as distinct series.
+type AlgorithmSpec struct {
+	// Name is the registered architecture name.
+	Name Algorithm `json:"algorithm"`
+	// As relabels the series in results and renderings; it defaults to
+	// Name and must be unique within a spec.
+	As string `json:"as,omitempty"`
+	// Options parameterizes the architecture; WithDefaults fills the
+	// registered schema's defaults in.
+	Options registry.Options `json:"options,omitempty"`
+}
+
+// Label returns the series label: As when set, else the architecture name.
+func (a AlgorithmSpec) Label() Algorithm {
+	if a.As != "" {
+		return Algorithm(a.As)
+	}
+	return a.Name
+}
+
+// MarshalJSON renders option-free, unrelabeled entries as bare name
+// strings. Note that after WithDefaults an architecture with a non-empty
+// schema always carries its full normalized options, so only optionless
+// architectures keep the compact form in normalized specs (and checkpoint
+// headers) — deliberately: the header must record the exact assignment
+// each point ran with, so a resume under drifted options or changed
+// schema defaults is rejected.
+func (a AlgorithmSpec) MarshalJSON() ([]byte, error) {
+	if len(a.Options) == 0 && a.As == "" {
+		return json.Marshal(string(a.Name))
+	}
+	type raw AlgorithmSpec // shed the method set to avoid recursion
+	return json.Marshal(raw(a))
+}
+
+// UnmarshalJSON accepts a bare name string or the object form, rejecting
+// unknown object fields like the surrounding spec decoder does.
+func (a *AlgorithmSpec) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		return json.Unmarshal(b, &a.Name)
+	}
+	type raw AlgorithmSpec
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var r raw
+	if err := dec.Decode(&r); err != nil {
+		return err
+	}
+	if r.Name == "" {
+		return fmt.Errorf("algorithm entry %s missing its \"algorithm\" name", b)
+	}
+	*a = AlgorithmSpec(r)
+	return nil
+}
+
+// TrafficSpec selects one workload series of a study, with the same JSON
+// forms and labeling rules as AlgorithmSpec (e.g. {"traffic": "hotspot",
+// "options": {"fraction": 0.75}, "as": "hotspot-75"}).
+type TrafficSpec struct {
+	// Name is the registered workload name.
+	Name TrafficKind `json:"traffic"`
+	// As relabels the series; it defaults to Name and must be unique
+	// within a spec.
+	As string `json:"as,omitempty"`
+	// Options parameterizes the workload; WithDefaults fills the
+	// registered schema's defaults in.
+	Options registry.Options `json:"options,omitempty"`
+}
+
+// Label returns the series label: As when set, else the workload name.
+func (t TrafficSpec) Label() TrafficKind {
+	if t.As != "" {
+		return TrafficKind(t.As)
+	}
+	return t.Name
+}
+
+// MarshalJSON matches AlgorithmSpec.MarshalJSON.
+func (t TrafficSpec) MarshalJSON() ([]byte, error) {
+	if len(t.Options) == 0 && t.As == "" {
+		return json.Marshal(string(t.Name))
+	}
+	type raw TrafficSpec
+	return json.Marshal(raw(t))
+}
+
+// UnmarshalJSON matches AlgorithmSpec.UnmarshalJSON.
+func (t *TrafficSpec) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		return json.Unmarshal(b, &t.Name)
+	}
+	type raw TrafficSpec
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var r raw
+	if err := dec.Decode(&r); err != nil {
+		return err
+	}
+	if r.Name == "" {
+		return fmt.Errorf("traffic entry %s missing its \"traffic\" name", b)
+	}
+	*t = TrafficSpec(r)
+	return nil
+}
+
+// Algs wraps plain architecture names as option-free spec entries.
+func Algs(names ...Algorithm) []AlgorithmSpec {
+	out := make([]AlgorithmSpec, len(names))
+	for i, n := range names {
+		out[i] = AlgorithmSpec{Name: n}
+	}
+	return out
+}
+
+// Traffics wraps plain workload names as option-free spec entries.
+func Traffics(kinds ...TrafficKind) []TrafficSpec {
+	out := make([]TrafficSpec, len(kinds))
+	for i, k := range kinds {
+		out[i] = TrafficSpec{Name: k}
+	}
+	return out
+}
+
 // Spec declares a full simulation study as data: the cartesian grid of
 // algorithms x traffic kinds x loads x switch sizes x burstiness, with
 // Replicas independently-seeded runs per grid point. A Spec is plain JSON, so
 // studies can be version-controlled, diffed, and resumed; cmd/sweep runs one.
 //
-// The zero values of optional fields are filled by WithDefaults; Validate
-// rejects grids the simulator cannot honor (loads outside (0,1), non-power-
-// of-two sizes, unknown algorithms).
+// The zero values of optional fields are filled by WithDefaults, which also
+// normalizes every options object against the registered schemas (defaults
+// applied, values canonicalized); Validate rejects grids the simulator
+// cannot honor (loads outside (0,1), non-power-of-two sizes, unknown or
+// ill-optioned algorithms and workloads).
 type Spec struct {
 	// Name labels the study in progress output and results metadata.
 	Name string `json:"name,omitempty"`
 	// Kind is the point type: "sim" (default), "markov", or "bound".
 	Kind SpecKind `json:"kind,omitempty"`
-	// Algorithms are the architectures to compare (sim studies only).
-	Algorithms []Algorithm `json:"algorithms,omitempty"`
-	// Traffic are the workload shapes to drive (sim studies only).
-	Traffic []TrafficKind `json:"traffic,omitempty"`
+	// Algorithms are the architecture series to compare (sim studies only).
+	Algorithms []AlgorithmSpec `json:"algorithms,omitempty"`
+	// Traffic are the workload series to drive (sim studies only).
+	Traffic []TrafficSpec `json:"traffic,omitempty"`
 	// Loads is the offered-load grid; every load must lie in (0, 1).
 	Loads []float64 `json:"loads"`
 	// Sizes is the switch-size grid; every size must be a power of two.
@@ -63,7 +196,14 @@ type Spec struct {
 	Seed int64 `json:"seed,omitempty"`
 }
 
-// WithDefaults returns the spec with unset optional fields filled in.
+// WithDefaults returns the spec with unset optional fields filled in and
+// every algorithm/traffic options object normalized against its registered
+// schema: schema defaults applied, values canonicalized to their JSON
+// representation. Normalization makes the spec self-describing — the
+// checkpoint header records the exact option assignment each point ran
+// with, so a resume under different options (or different schema defaults)
+// is rejected. Entries that do not normalize (unknown name, bad option) are
+// left untouched for Validate to report.
 func (s Spec) WithDefaults() Spec {
 	if s.Kind == "" {
 		s.Kind = SimStudy
@@ -79,6 +219,30 @@ func (s Spec) WithDefaults() Spec {
 	}
 	if s.Seed == 0 {
 		s.Seed = 1
+	}
+	if len(s.Algorithms) > 0 {
+		algs := make([]AlgorithmSpec, len(s.Algorithms))
+		for i, a := range s.Algorithms {
+			algs[i] = a
+			if arch, ok := registry.LookupArchitecture(string(a.Name)); ok {
+				if norm, err := arch.Options.Normalize(a.Options); err == nil {
+					algs[i].Options = norm
+				}
+			}
+		}
+		s.Algorithms = algs
+	}
+	if len(s.Traffic) > 0 {
+		tks := make([]TrafficSpec, len(s.Traffic))
+		for i, tk := range s.Traffic {
+			tks[i] = tk
+			if wl, ok := registry.LookupWorkload(string(tk.Name)); ok {
+				if norm, err := wl.Options.Normalize(tk.Options); err == nil {
+					tks[i].Options = norm
+				}
+			}
+		}
+		s.Traffic = tks
 	}
 	return s
 }
@@ -129,26 +293,48 @@ func (s Spec) Validate() error {
 	if len(s.Algorithms) == 0 {
 		return fmt.Errorf("experiment: sim spec has no algorithms")
 	}
-	known := map[Algorithm]bool{}
-	for _, a := range AllAlgorithms {
-		known[a] = true
-	}
+	seenAlg := map[Algorithm]bool{}
 	for _, a := range s.Algorithms {
-		if !known[a] {
-			return fmt.Errorf("experiment: unknown algorithm %q", a)
+		arch, ok := registry.LookupArchitecture(string(a.Name))
+		if !ok {
+			return fmt.Errorf("experiment: unknown algorithm %q (registered: %s)",
+				a.Name, strings.Join(registry.ArchitectureNames(), ", "))
 		}
+		norm, err := arch.Options.Normalize(a.Options)
+		if err != nil {
+			return fmt.Errorf("experiment: algorithm %q: %v", a.Label(), err)
+		}
+		if arch.ValidateFor != nil {
+			// Size-coupled constraints (e.g. pf's threshold <= N) are
+			// checked against every grid size now, not mid-study.
+			for _, n := range s.Sizes {
+				if err := arch.ValidateFor(n, norm); err != nil {
+					return fmt.Errorf("experiment: algorithm %q: %v", a.Label(), err)
+				}
+			}
+		}
+		if seenAlg[a.Label()] {
+			return fmt.Errorf("experiment: algorithm series %q appears twice; relabel one with \"as\"", a.Label())
+		}
+		seenAlg[a.Label()] = true
 	}
 	if len(s.Traffic) == 0 {
 		return fmt.Errorf("experiment: sim spec has no traffic kinds")
 	}
-	knownT := map[TrafficKind]bool{}
-	for _, k := range AllTraffic {
-		knownT[k] = true
-	}
+	seenT := map[TrafficKind]bool{}
 	for _, k := range s.Traffic {
-		if !knownT[k] {
-			return fmt.Errorf("experiment: unknown traffic kind %q", k)
+		wl, ok := registry.LookupWorkload(string(k.Name))
+		if !ok {
+			return fmt.Errorf("experiment: unknown traffic kind %q (registered: %s)",
+				k.Name, strings.Join(registry.WorkloadNames(), ", "))
 		}
+		if _, err := wl.Options.Normalize(k.Options); err != nil {
+			return fmt.Errorf("experiment: traffic %q: %v", k.Label(), err)
+		}
+		if seenT[k.Label()] {
+			return fmt.Errorf("experiment: traffic series %q appears twice; relabel one with \"as\"", k.Label())
+		}
+		seenT[k.Label()] = true
 	}
 	for _, b := range s.Bursts {
 		if b != 0 && b < 1 {
@@ -211,13 +397,35 @@ func (s Spec) Points() []PointKey {
 			for _, n := range s.Sizes {
 				for _, b := range bursts {
 					for _, l := range s.Loads {
-						out = append(out, PointKey{Algorithm: a, Traffic: tk, N: n, Load: l, Burst: b})
+						out = append(out, PointKey{Algorithm: a.Label(), Traffic: tk.Label(), N: n, Load: l, Burst: b})
 					}
 				}
 			}
 		}
 	}
 	return out
+}
+
+// algEntry resolves a point's algorithm label back to its spec entry (the
+// registered name plus the option assignment the series runs with). Labels
+// are unique per Validate, so the first match is the match.
+func (s Spec) algEntry(label Algorithm) AlgorithmSpec {
+	for _, a := range s.Algorithms {
+		if a.Label() == label {
+			return a
+		}
+	}
+	return AlgorithmSpec{Name: label}
+}
+
+// trafficEntry resolves a point's traffic label back to its spec entry.
+func (s Spec) trafficEntry(label TrafficKind) TrafficSpec {
+	for _, t := range s.Traffic {
+		if t.Label() == label {
+			return t
+		}
+	}
+	return TrafficSpec{Name: label}
 }
 
 // NumPoints returns the size of the study grid.
@@ -290,13 +498,13 @@ func BuiltinSpec(name string) (Spec, error) {
 	case "fig6":
 		return Spec{
 			Name: "fig6", Kind: SimStudy,
-			Algorithms: Fig6Algorithms, Traffic: []TrafficKind{UniformTraffic},
+			Algorithms: Algs(Fig6Algorithms...), Traffic: Traffics(UniformTraffic),
 			Loads: PaperLoads, Sizes: []int{32}, Slots: 1_000_000, Seed: 1,
 		}, nil
 	case "fig7":
 		return Spec{
 			Name: "fig7", Kind: SimStudy,
-			Algorithms: Fig6Algorithms, Traffic: []TrafficKind{DiagonalTraffic},
+			Algorithms: Algs(Fig6Algorithms...), Traffic: Traffics(DiagonalTraffic),
 			Loads: PaperLoads, Sizes: []int{32}, Slots: 1_000_000, Seed: 1,
 		}, nil
 	case "fig5":
@@ -313,8 +521,8 @@ func BuiltinSpec(name string) (Spec, error) {
 	case "smoke":
 		return Spec{
 			Name: "smoke", Kind: SimStudy,
-			Algorithms: []Algorithm{Sprinklers, LoadBalanced},
-			Traffic:    []TrafficKind{UniformTraffic},
+			Algorithms: Algs(Sprinklers, LoadBalanced),
+			Traffic:    Traffics(UniformTraffic),
 			Loads:      []float64{0.3, 0.6, 0.9},
 			Sizes:      []int{8},
 			Replicas:   3,

@@ -10,8 +10,8 @@ func validSpec() Spec {
 	return Spec{
 		Name:       "test",
 		Kind:       SimStudy,
-		Algorithms: []Algorithm{Sprinklers, FOFF},
-		Traffic:    []TrafficKind{UniformTraffic, DiagonalTraffic},
+		Algorithms: Algs(Sprinklers, FOFF),
+		Traffic:    Traffics(UniformTraffic, DiagonalTraffic),
 		Loads:      []float64{0.3, 0.9},
 		Sizes:      []int{8, 16},
 		Bursts:     []float64{0, 8},
@@ -58,9 +58,9 @@ func TestSpecValidation(t *testing.T) {
 		{"non-pow2 size", func(s *Spec) { s.Sizes = []int{24} }, "power of two"},
 		{"size too small", func(s *Spec) { s.Sizes = []int{1} }, "< 2"},
 		{"no algorithms", func(s *Spec) { s.Algorithms = nil }, "no algorithms"},
-		{"unknown algorithm", func(s *Spec) { s.Algorithms = []Algorithm{"nonsense"} }, "unknown algorithm"},
+		{"unknown algorithm", func(s *Spec) { s.Algorithms = Algs("nonsense") }, "unknown algorithm"},
 		{"no traffic", func(s *Spec) { s.Traffic = nil }, "no traffic"},
-		{"unknown traffic", func(s *Spec) { s.Traffic = []TrafficKind{"nonsense"} }, "unknown traffic"},
+		{"unknown traffic", func(s *Spec) { s.Traffic = Traffics("nonsense") }, "unknown traffic"},
 		{"fractional burst", func(s *Spec) { s.Bursts = []float64{0.5} }, "burst"},
 		{"negative replicas", func(s *Spec) { s.Replicas = -1 }, "replicas"},
 		{"negative slots", func(s *Spec) { s.Slots = -10 }, "slots"},
@@ -88,7 +88,7 @@ func TestSpecValidationAnalytic(t *testing.T) {
 	if err := s.Validate(); err != nil {
 		t.Fatalf("markov spec with non-pow2 size should validate (model is defined for any N): %v", err)
 	}
-	s.Algorithms = []Algorithm{Sprinklers}
+	s.Algorithms = Algs(Sprinklers)
 	if err := s.Validate(); err == nil {
 		t.Fatal("markov spec with algorithms should fail")
 	}
@@ -105,8 +105,8 @@ func TestSpecValidationAnalytic(t *testing.T) {
 func TestSpecPointsCanonicalOrder(t *testing.T) {
 	s := Spec{
 		Kind:       SimStudy,
-		Algorithms: []Algorithm{UFS, PF},
-		Traffic:    []TrafficKind{UniformTraffic},
+		Algorithms: Algs(UFS, PF),
+		Traffic:    Traffics(UniformTraffic),
 		Loads:      []float64{0.2, 0.6},
 		Sizes:      []int{8},
 		Bursts:     []float64{0},

@@ -1,6 +1,9 @@
 // Package integration runs cross-architecture system tests: every switch
-// under every workload shape, wrapped in the conformance checker, with the
-// paper's qualitative claims asserted as invariants.
+// registered in internal/registry under every registered workload shape,
+// wrapped in the conformance checker, with the paper's qualitative claims
+// asserted as invariants. Because the suites iterate the registry, a newly
+// registered architecture or workload is protocol-tested with no test
+// changes.
 package integration
 
 import (
@@ -10,31 +13,36 @@ import (
 
 	"sprinklers/internal/conformance"
 	"sprinklers/internal/experiment"
+	"sprinklers/internal/registry"
 	"sprinklers/internal/sim"
 	"sprinklers/internal/stats"
 	"sprinklers/internal/switchtest"
 	"sprinklers/internal/traffic"
 )
 
-// TestAllSwitchesConformUnderAllTraffic is the workhorse: 7 architectures x
-// 5 workload shapes, each run under the conformance checker with ordering
-// and throughput assertions appropriate to the architecture.
+// TestAllSwitchesConformUnderAllTraffic is the workhorse: every registered
+// architecture x every registered workload, each run under the conformance
+// checker with ordering and throughput assertions driven by the registered
+// metadata.
 func TestAllSwitchesConformUnderAllTraffic(t *testing.T) {
 	const (
 		n     = 16
 		slots = 30000
 	)
-	for _, alg := range experiment.AllAlgorithms {
-		for _, kind := range experiment.AllTraffic {
-			alg, kind := alg, kind
+	for _, arch := range registry.Architectures() {
+		for _, wl := range registry.Workloads() {
+			arch, wl := arch, wl
+			alg := experiment.Algorithm(arch.Name)
+			kind := experiment.TrafficKind(wl.Name)
 			t.Run(fmt.Sprintf("%s/%s", alg, kind), func(t *testing.T) {
 				t.Parallel()
-				// Hashing is genuinely unstable under concentrated
-				// patterns — that is its documented defect, tested
-				// separately — so cap its load.
+				// Architectures that document a stability ceiling (hashing
+				// is genuinely unstable under concentrated patterns — its
+				// documented defect, tested separately) are driven at it,
+				// not above it.
 				load := 0.85
-				if alg == experiment.TCPHashing {
-					load = 0.3
+				if arch.MaxStableLoad > 0 && load > arch.MaxStableLoad {
+					load = arch.MaxStableLoad
 				}
 				rng := rand.New(rand.NewSource(1))
 				m, err := experiment.Pattern(kind, n, load, rng)
@@ -55,10 +63,10 @@ func TestAllSwitchesConformUnderAllTraffic(t *testing.T) {
 				if v := sw.Violation(); v != "" {
 					t.Fatalf("conformance violation: %s", v)
 				}
-				if alg.OrderPreserving() && reorder.Reordered() != 0 {
+				if arch.OrderPreserving && reorder.Reordered() != 0 {
 					t.Fatalf("%s reordered %d packets under %s", alg, reorder.Reordered(), kind)
 				}
-				if alg != experiment.TCPHashing {
+				if arch.MaxStableLoad == 0 {
 					if tp := float64(delivered) / float64(offered); tp < 0.9 {
 						t.Fatalf("throughput %.3f", tp)
 					}
@@ -68,15 +76,25 @@ func TestAllSwitchesConformUnderAllTraffic(t *testing.T) {
 	}
 }
 
+// orderPreservingStable lists the registered architectures that both
+// promise in-order delivery and are stable at the given load.
+func orderPreservingStable(load float64) []registry.Architecture {
+	var out []registry.Architecture
+	for _, arch := range registry.Architectures() {
+		if arch.OrderPreserving && (arch.MaxStableLoad == 0 || arch.MaxStableLoad >= load) {
+			out = append(out, arch)
+		}
+	}
+	return out
+}
+
 // TestBurstyArrivalsAllOrderPreserving: the ordering guarantees must
 // survive bursty (on/off) arrivals, which stress the schedulers much
 // harder than Bernoulli traffic.
 func TestBurstyArrivalsAllOrderPreserving(t *testing.T) {
 	const n = 16
-	for _, alg := range []experiment.Algorithm{
-		experiment.UFS, experiment.FOFF, experiment.PF, experiment.Sprinklers,
-	} {
-		alg := alg
+	for _, arch := range orderPreservingStable(0.75) {
+		alg := experiment.Algorithm(arch.Name)
 		t.Run(string(alg), func(t *testing.T) {
 			t.Parallel()
 			m := traffic.Diagonal(n, 0.75)

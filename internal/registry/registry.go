@@ -1,0 +1,277 @@
+// Package registry is the harness's extension point: switch architectures
+// and traffic workloads register themselves under a stable name with
+// metadata and a typed option schema, and the experiment layer (specs,
+// runners, cmd tools, conformance suites) discovers them by lookup instead
+// of hard-wired switch statements. Adding an architecture or a workload is
+// one package with a Register call in an init function — every spec, cmd
+// tool and protocol test picks it up automatically.
+//
+// Registration happens in init functions only; after program start the
+// registry is read-only, so lookups are safe from any goroutine.
+package registry
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"sprinklers/internal/sim"
+)
+
+// ArchConfig is everything an architecture constructor receives.
+type ArchConfig struct {
+	// N is the port count.
+	N int
+	// Rates is a deep copy of the (estimated) VOQ rate matrix the workload
+	// will offer; constructors own it and may retain or mutate it freely.
+	// It is only materialized for architectures registered with NeedsRates
+	// — for every other constructor it is nil, sparing the O(N^2) copy at
+	// every construction.
+	Rates [][]float64
+	// Seed feeds any randomness the architecture uses (stripe placement,
+	// hashing). Constructors must be deterministic given Seed.
+	Seed int64
+	// Options is the architecture's option assignment, normalized against
+	// its schema: every declared key is present with a validated value.
+	Options Options
+}
+
+// Architecture describes one registered switch architecture.
+type Architecture struct {
+	// Name is the stable identifier used by specs and flags.
+	Name string
+	// Description is a one-line summary shown by -list.
+	Description string
+	// OrderPreserving reports whether the architecture guarantees in-order
+	// per-flow delivery.
+	OrderPreserving bool
+	// MaxStableLoad is the highest offered load the architecture is known
+	// to sustain under every admissible pattern; 0 means it is stable at
+	// any admissible load. The protocol tests cap their workloads at it
+	// and skip throughput assertions for architectures that cannot promise
+	// full throughput.
+	MaxStableLoad float64
+	// Rank orders catalog listings (the paper's legend order); ties break
+	// by name.
+	Rank int
+	// NeedsRates marks constructors that consume ArchConfig.Rates (e.g.
+	// Sprinklers sizes its stripes from the rate matrix). When false the
+	// rate matrix is never copied for this architecture.
+	NeedsRates bool
+	// Options declares the architecture's tunable parameters.
+	Options Schema
+	// ValidateFor, when set, checks constraints that couple a normalized
+	// option assignment to the port count (e.g. pf's threshold <= N). It
+	// runs before construction, and spec validation runs it against every
+	// size of a study grid — so a doomed (options, N) pairing is rejected
+	// up front instead of aborting a study hours in.
+	ValidateFor func(n int, opts Options) error
+	// New constructs the switch.
+	New func(cfg ArchConfig) (sim.Switch, error)
+}
+
+// Workload describes one registered traffic pattern.
+type Workload struct {
+	// Name is the stable identifier used by specs and flags.
+	Name string
+	// Description is a one-line summary shown by -list.
+	Description string
+	// Rank orders catalog listings; ties break by name.
+	Rank int
+	// Options declares the pattern's tunable parameters.
+	Options Schema
+	// Rates builds the N x N rate matrix for the pattern at the given
+	// per-input load. rng supplies randomness for randomized patterns and
+	// must be the only randomness used, so a pattern is reproducible from
+	// the run's seed.
+	Rates func(n int, load float64, rng *rand.Rand, opts Options) ([][]float64, error)
+}
+
+var (
+	mu        sync.RWMutex
+	archs     = map[string]Architecture{}
+	workloads = map[string]Workload{}
+)
+
+// RegisterArchitecture adds a to the registry. It panics on a duplicate
+// name, a malformed schema, or a missing constructor — registration runs at
+// init time, where failing loudly beats limping on.
+func RegisterArchitecture(a Architecture) {
+	mu.Lock()
+	defer mu.Unlock()
+	if a.Name == "" || a.New == nil {
+		panic("registry: architecture needs a name and a constructor")
+	}
+	if _, dup := archs[a.Name]; dup {
+		panic(fmt.Sprintf("registry: architecture %q registered twice", a.Name))
+	}
+	if err := a.Options.validate(); err != nil {
+		panic(fmt.Sprintf("registry: architecture %q: %v", a.Name, err))
+	}
+	archs[a.Name] = a
+}
+
+// RegisterWorkload adds w to the registry, with the same panics as
+// RegisterArchitecture.
+func RegisterWorkload(w Workload) {
+	mu.Lock()
+	defer mu.Unlock()
+	if w.Name == "" || w.Rates == nil {
+		panic("registry: workload needs a name and a rates constructor")
+	}
+	if _, dup := workloads[w.Name]; dup {
+		panic(fmt.Sprintf("registry: workload %q registered twice", w.Name))
+	}
+	if err := w.Options.validate(); err != nil {
+		panic(fmt.Sprintf("registry: workload %q: %v", w.Name, err))
+	}
+	workloads[w.Name] = w
+}
+
+// LookupArchitecture returns the named architecture.
+func LookupArchitecture(name string) (Architecture, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	a, ok := archs[name]
+	return a, ok
+}
+
+// LookupWorkload returns the named workload.
+func LookupWorkload(name string) (Workload, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	w, ok := workloads[name]
+	return w, ok
+}
+
+// Architectures returns every registered architecture in canonical order
+// (ascending Rank, then name).
+func Architectures() []Architecture {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]Architecture, 0, len(archs))
+	for _, a := range archs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Workloads returns every registered workload in canonical order.
+func Workloads() []Workload {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]Workload, 0, len(workloads))
+	for _, w := range workloads {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ArchitectureNames returns the registered architecture names in canonical
+// order.
+func ArchitectureNames() []string {
+	as := Architectures()
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// WorkloadNames returns the registered workload names in canonical order.
+func WorkloadNames() []string {
+	ws := Workloads()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// NewArchitecture builds the named architecture after normalizing opts
+// against its schema (nil opts selects every default). rates is invoked —
+// only for architectures registered with NeedsRates — to materialize the
+// rate matrix; it must return storage the constructor may own. A nil rates
+// stands for "no rate estimate" even for NeedsRates architectures.
+func NewArchitecture(name string, n int, rates func() [][]float64, seed int64, opts map[string]any) (sim.Switch, error) {
+	a, ok := LookupArchitecture(name)
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown architecture %q (registered: %s)",
+			name, strings.Join(ArchitectureNames(), ", "))
+	}
+	norm, err := a.Options.Normalize(opts)
+	if err != nil {
+		return nil, fmt.Errorf("registry: architecture %q: %v", name, err)
+	}
+	if a.ValidateFor != nil {
+		if verr := a.ValidateFor(n, norm); verr != nil {
+			return nil, fmt.Errorf("registry: architecture %q: %v", name, verr)
+		}
+	}
+	cfg := ArchConfig{N: n, Seed: seed, Options: norm}
+	if a.NeedsRates && rates != nil {
+		cfg.Rates = rates()
+	}
+	return a.New(cfg)
+}
+
+// WorkloadRates builds the named workload's rate matrix after normalizing
+// opts against its schema (nil opts selects every default).
+func WorkloadRates(name string, n int, load float64, rng *rand.Rand, opts map[string]any) ([][]float64, error) {
+	w, ok := LookupWorkload(name)
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown workload %q (registered: %s)",
+			name, strings.Join(WorkloadNames(), ", "))
+	}
+	norm, err := w.Options.Normalize(opts)
+	if err != nil {
+		return nil, fmt.Errorf("registry: workload %q: %v", name, err)
+	}
+	return w.Rates(n, load, rng, norm)
+}
+
+// WriteCatalog renders the full registry — every architecture and workload
+// with its metadata and option schema — in canonical order. It backs the
+// -list flag shared by the cmd tools.
+func WriteCatalog(w io.Writer) {
+	fmt.Fprintln(w, "architectures:")
+	for _, a := range Architectures() {
+		tags := []string{}
+		if a.OrderPreserving {
+			tags = append(tags, "order-preserving")
+		}
+		if a.MaxStableLoad > 0 {
+			tags = append(tags, fmt.Sprintf("stable to load %.2g", a.MaxStableLoad))
+		}
+		suffix := ""
+		if len(tags) > 0 {
+			suffix = " [" + strings.Join(tags, ", ") + "]"
+		}
+		fmt.Fprintf(w, "  %-18s %s%s\n", a.Name, a.Description, suffix)
+		for _, o := range a.Options {
+			fmt.Fprintf(w, "      %-32s %s\n", o.describe(), o.Help)
+		}
+	}
+	fmt.Fprintln(w, "\nworkloads:")
+	for _, wl := range Workloads() {
+		fmt.Fprintf(w, "  %-18s %s\n", wl.Name, wl.Description)
+		for _, o := range wl.Options {
+			fmt.Fprintf(w, "      %-32s %s\n", o.describe(), o.Help)
+		}
+	}
+}

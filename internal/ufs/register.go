@@ -1,0 +1,18 @@
+package ufs
+
+import (
+	"sprinklers/internal/registry"
+	"sprinklers/internal/sim"
+)
+
+func init() {
+	registry.RegisterArchitecture(registry.Architecture{
+		Name:            "ufs",
+		Description:     "Uniform Frame Spreading: full-frame accumulation then one packet per intermediate port",
+		OrderPreserving: true,
+		Rank:            20,
+		New: func(cfg registry.ArchConfig) (sim.Switch, error) {
+			return New(cfg.N), nil
+		},
+	})
+}

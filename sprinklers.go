@@ -33,7 +33,9 @@ package sprinklers
 import (
 	"math/rand"
 
+	_ "sprinklers/internal/arch" // link every built-in architecture and workload
 	"sprinklers/internal/core"
+	"sprinklers/internal/registry"
 	"sprinklers/internal/sim"
 	"sprinklers/internal/stats"
 	"sprinklers/internal/traffic"
@@ -111,6 +113,17 @@ type (
 
 // Run drives a switch with a source; re-exported from the engine.
 var Run = sim.Run
+
+// Architectures returns the name of every registered switch architecture
+// in canonical (paper legend) order: the seven built-in schemes plus
+// anything the program registered itself. Each name is accepted by the
+// experiment harness and the cmd tools; run any cmd tool with -list for
+// the per-architecture option schemas.
+func Architectures() []string { return registry.ArchitectureNames() }
+
+// Workloads returns the name of every registered traffic workload in
+// canonical order, as accepted by the experiment harness and cmd tools.
+func Workloads() []string { return registry.WorkloadNames() }
 
 // New builds a Sprinklers switch.
 func New(cfg Config) (*SprinklersSwitch, error) { return core.New(cfg) }

@@ -74,3 +74,26 @@ func TestGreedyVariantAvailable(t *testing.T) {
 		t.Fatal("greedy switch broken")
 	}
 }
+
+func TestRegistryDiscovery(t *testing.T) {
+	archs := sprinklers.Architectures()
+	wls := sprinklers.Workloads()
+	wantArch := map[string]bool{}
+	for _, a := range archs {
+		wantArch[a] = true
+	}
+	for _, name := range []string{"sprinklers", "load-balanced", "ufs", "foff", "pf", "tcp-hashing", "cms"} {
+		if !wantArch[name] {
+			t.Errorf("Architectures() missing %q: %v", name, archs)
+		}
+	}
+	wantWl := map[string]bool{}
+	for _, w := range wls {
+		wantWl[w] = true
+	}
+	for _, name := range []string{"uniform", "diagonal", "hotspot", "zipf", "permutation"} {
+		if !wantWl[name] {
+			t.Errorf("Workloads() missing %q: %v", name, wls)
+		}
+	}
+}
