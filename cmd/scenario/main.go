@@ -1,0 +1,189 @@
+// Command scenario replays a registered dynamic scenario — a flash crowd,
+// rate drift, hotspot migration, ingress-link failure, load steps — against
+// one or more switch architectures and prints the per-window recovery
+// trajectory: how delay, backlog and throughput evolve across the
+// disturbance, and when each architecture settles back to its baseline.
+// It is the quickest way to see the paper's Sec. 3.5 adaptive stripe
+// resizing earn (or fail to earn) its keep against static placement.
+//
+// Usage:
+//
+//	scenario -scenario flashcrowd [-alg sprinklers]... [-traffic uniform]
+//	         [-n 8] [-load 0.8] [-slots 20000] [-windows 20] [-replicas 3]
+//	         [-sopt k=v]... [-topt k=v]... [-burst 0] [-seed 1]
+//	         [-out traj.jsonl] [-csv]
+//	scenario -list
+//
+// -alg is repeatable and accepts per-series options after a colon, e.g.
+//
+//	-alg sprinklers -alg "sprinklers:adaptive=true,adaptive-window=1024"
+//
+// which compares static and adaptive Sprinklers under the same replayed
+// events. With no -alg the tool runs exactly that comparison. -sopt and
+// -topt set scenario and workload options (repeatable key=value). The tool
+// is a thin wrapper over the declarative study engine, so -out checkpoints
+// and resumes exactly like cmd/sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sprinklers/internal/experiment"
+	"sprinklers/internal/registry"
+	"sprinklers/internal/sim"
+)
+
+// listFlag collects a repeatable string flag.
+type listFlag []string
+
+func (l *listFlag) String() string { return strings.Join(*l, ",") }
+
+func (l *listFlag) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var algs, sopts, topts listFlag
+	flag.Var(&algs, "alg", "architecture series, repeatable: name or name:key=value,key=value")
+	flag.Var(&sopts, "sopt", "scenario option, repeatable key=value")
+	flag.Var(&topts, "topt", "workload option, repeatable key=value")
+	scenarioName := flag.String("scenario", "", "registered scenario to replay: "+strings.Join(registry.ScenarioNames(), ", "))
+	trafficKind := flag.String("traffic", "uniform", "base workload the scenario perturbs")
+	n := flag.Int("n", 8, "switch size (power of two)")
+	load := flag.Float64("load", 0.8, "nominal per-input load in (0, 1)")
+	slots := flag.Int64("slots", 20_000, "measured slots per replica")
+	warmup := flag.Int64("warmup", 0, "warmup slots (default slots/5)")
+	windows := flag.Int("windows", 20, "time-series windows over the measured horizon")
+	replicas := flag.Int("replicas", 3, "independently-seeded replicas, aggregated per window")
+	burst := flag.Float64("burst", 0, "mean on/off burst length; 0 = Bernoulli arrivals")
+	seed := flag.Int64("seed", 1, "study base seed")
+	out := flag.String("out", "", "JSONL checkpoint file; resumed if it exists")
+	csvOut := flag.Bool("csv", false, "emit the trajectory as CSV instead of text tables")
+	quiet := flag.Bool("quiet", false, "suppress live progress on stderr")
+	list := flag.Bool("list", false, "list registered scenarios (with architectures and workloads), then exit")
+	flag.Parse()
+
+	if *list {
+		registry.WriteCatalog(os.Stdout)
+		return
+	}
+	if *scenarioName == "" {
+		fatal(fmt.Errorf("-scenario is required (registered: %s)", strings.Join(registry.ScenarioNames(), ", ")))
+	}
+	var algSpecs []experiment.AlgorithmSpec
+	if len(algs) == 0 {
+		// The default comparison the tool exists for: Sprinklers provisioned
+		// once from the pre-event rates versus Sprinklers re-measuring and
+		// resizing online (Sec. 3.5), under identical replayed events — the
+		// same two series the flashcrowd builtin sweeps.
+		algSpecs = []experiment.AlgorithmSpec{
+			{Name: experiment.Sprinklers},
+			experiment.AdaptiveSprinklers(),
+		}
+	}
+	for _, entry := range algs {
+		a, err := parseAlgEntry(entry)
+		if err != nil {
+			fatal(err)
+		}
+		algSpecs = append(algSpecs, a)
+	}
+	sOpts, err := parseOpts(sopts)
+	if err != nil {
+		fatal(err)
+	}
+	tOpts, err := parseOpts(topts)
+	if err != nil {
+		fatal(err)
+	}
+
+	spec := experiment.Spec{
+		Name:       fmt.Sprintf("scenario-%s", *scenarioName),
+		Kind:       experiment.SimStudy,
+		Algorithms: algSpecs,
+		Traffic: []experiment.TrafficSpec{{
+			Name: experiment.TrafficKind(*trafficKind), Options: tOpts,
+		}},
+		Scenarios: []experiment.ScenarioSpec{{
+			Name: experiment.ScenarioKind(*scenarioName), Options: sOpts,
+		}},
+		Loads:    []float64{*load},
+		Sizes:    []int{*n},
+		Bursts:   []float64{*burst},
+		Replicas: *replicas,
+		Slots:    sim.Slot(*slots),
+		Warmup:   sim.Slot(*warmup),
+		Windows:  *windows,
+		Seed:     *seed,
+	}
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		fatal(err)
+	}
+
+	cfg := experiment.StudyConfig{ResultsPath: *out}
+	if !*quiet {
+		cfg.Progress = func(done, total int, r experiment.PointResult) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s  mean-delay %.1f\n", done, total, r.PointKey, r.MeanDelay)
+		}
+	}
+	results, err := experiment.RunStudy(spec, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *csvOut {
+		if err := experiment.RenderTrajectoryCSV(os.Stdout, results); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("scenario %s: recovery trajectory, %d replicas/point, %d measured slots, %d windows\n\n",
+		*scenarioName, spec.Replicas, spec.Slots, spec.Windows)
+	experiment.RenderTrajectory(os.Stdout, results)
+	fmt.Println()
+	experiment.RenderStudyDetail(os.Stdout, results)
+}
+
+// parseAlgEntry parses "name" or "name:key=value,key=value" into a spec
+// entry; optioned entries keep the full text as their series label so two
+// variants of one architecture stay distinct.
+func parseAlgEntry(entry string) (experiment.AlgorithmSpec, error) {
+	name, rest, found := strings.Cut(entry, ":")
+	a := experiment.AlgorithmSpec{Name: experiment.Algorithm(strings.TrimSpace(name))}
+	if !found {
+		return a, nil
+	}
+	opts, err := parseOpts(strings.Split(rest, ","))
+	if err != nil {
+		return a, fmt.Errorf("alg entry %q: %v", entry, err)
+	}
+	a.Options = opts
+	a.As = entry
+	return a, nil
+}
+
+// parseOpts folds key=value pairs through the shared registry option
+// parser, so value inference matches the -sopt/-topt flags of every other
+// cmd tool.
+func parseOpts(pairs []string) (registry.Options, error) {
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	out := registry.OptionFlag{}
+	for _, p := range pairs {
+		if err := out.Set(strings.TrimSpace(p)); err != nil {
+			return nil, err
+		}
+	}
+	return registry.Options(out), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scenario:", err)
+	os.Exit(1)
+}

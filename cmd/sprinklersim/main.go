@@ -8,10 +8,16 @@
 //
 //	sprinklersim -alg sprinklers -traffic uniform -n 32 -load 0.9 \
 //	             -slots 1000000 [-burst 16] [-seed 1] [-scheduler gated|greedy]
+//	             [-aopt key=value]...
+//	sprinklersim -scenario flashcrowd [-sopt k=v]... [-aopt adaptive=true]... \
+//	             [-windows 10] ...
 //	sprinklersim -list
 //
-// The architecture and traffic names come from the shared registry; -list
-// prints every registered name with its option schema.
+// The architecture, traffic and scenario names come from the shared
+// registry; -list prints every registered name with its option schema.
+// With -scenario the run replays the named dynamic scenario (the workload
+// supplies the base rate matrix it perturbs) and reports the per-window
+// recovery trajectory alongside the usual aggregates.
 package main
 
 import (
@@ -19,11 +25,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"strings"
 
 	"sprinklers/internal/core"
 	"sprinklers/internal/experiment"
 	"sprinklers/internal/registry"
+	"sprinklers/internal/scenario"
 	"sprinklers/internal/sim"
 	"sprinklers/internal/stats"
 	"sprinklers/internal/traffic"
@@ -41,7 +49,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	burst := flag.Float64("burst", 0, "mean on/off burst length; 0 = Bernoulli arrivals as in the paper")
 	scheduler := flag.String("scheduler", "gated", "sprinklers input scheduler: gated (Sec. 3.4 LSF) or greedy (ablation)")
-	list := flag.Bool("list", false, "list registered architectures and workloads with their options, then exit")
+	scenarioName := flag.String("scenario", "", "replay a registered dynamic scenario: "+strings.Join(registry.ScenarioNames(), ", "))
+	sopts := registry.OptionFlag{}
+	flag.Var(sopts, "sopt", "scenario option, repeatable key=value")
+	aopts := registry.OptionFlag{}
+	flag.Var(aopts, "aopt", "architecture option, repeatable key=value (e.g. adaptive=true); see -list for schemas")
+	windows := flag.Int("windows", 10, "time-series windows for -scenario runs")
+	list := flag.Bool("list", false, "list registered architectures, workloads and scenarios with their options, then exit")
 	flag.Parse()
 
 	if *list {
@@ -80,12 +94,18 @@ func main() {
 		fatal(fmt.Errorf("-scheduler %q invalid: want gated or greedy", *scheduler))
 	}
 
+	if *scenarioName != "" {
+		runScenario(string(algorithm), aopts, *trafficKind, *scenarioName, sopts,
+			*n, *load, *burst, *slots, *warmup, *windows, *seed)
+		return
+	}
+
 	rng := rand.New(rand.NewSource(*seed))
 	m, err := experiment.Pattern(experiment.TrafficKind(*trafficKind), *n, *load, rng)
 	if err != nil {
 		fatal(err)
 	}
-	sw, err := experiment.NewSwitch(algorithm, m, *seed)
+	sw, err := experiment.NewSwitchOpts(algorithm, m, *seed, aopts)
 	if err != nil {
 		fatal(err)
 	}
@@ -129,6 +149,83 @@ func main() {
 			fmt.Printf("resizes      : %d stripe-size changes\n", cs.Resizes())
 		}
 	}
+}
+
+// runScenario replays a dynamic scenario over a single seeded run and
+// prints the per-window recovery trajectory with the usual aggregates.
+func runScenario(alg string, aopts map[string]any, trafficKind, scenarioName string, sopts map[string]any,
+	n int, load, burst float64, slots, warmup int64, windows int, seed int64) {
+	res, err := scenario.Run(scenario.Config{
+		Algorithm:       alg,
+		AlgOptions:      aopts,
+		Traffic:         trafficKind,
+		Scenario:        scenarioName,
+		ScenarioOptions: sopts,
+		N:               n,
+		Load:            load,
+		Burst:           burst,
+		Slots:           sim.Slot(slots),
+		Warmup:          sim.Slot(warmup),
+		Windows:         windows,
+		Seed:            seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("architecture : %s\n", alg)
+	fmt.Printf("traffic      : %s, N=%d, load=%.3f", trafficKind, n, load)
+	if burst > 0 {
+		fmt.Printf(", bursty (mean burst %.0f)", burst)
+	}
+	fmt.Println()
+	fmt.Printf("scenario     : %s (%d events)\n", scenarioName, len(res.Events))
+	fmt.Printf("offered      : %d packets\n", res.Offered)
+	fmt.Printf("delivered    : %d packets (throughput %.4f)\n", res.Delivered,
+		float64(res.Delivered)/float64(max64(res.Offered, 1)))
+	fmt.Printf("backlog      : %d packets left in switch\n", res.Switch.Backlog())
+	fmt.Printf("delay        : mean %.1f  p50 %d  p99 %d  max %d slots\n",
+		res.Delay.Mean(), res.Delay.Percentile(50), res.Delay.Percentile(99), res.Delay.Max())
+	fmt.Printf("reordered    : %d packets (%.5f%%), max seq gap %d\n",
+		res.Reorder.Reordered(), 100*res.Reorder.Fraction(), res.Reorder.MaxGap())
+	if cs, ok := res.Switch.(*core.Switch); ok {
+		if cs.Resizes() > 0 {
+			fmt.Printf("resizes      : %d stripe-size changes\n", cs.Resizes())
+		}
+		fmt.Printf("stripes      : %s\n", formatHistogram(cs.StripeSizeHistogram()))
+	}
+	fmt.Printf("\n%-6s %-16s %10s %10s %10s %10s %10s\n",
+		"window", "slots", "mean-delay", "p99-delay", "thruput", "backlog", "reordered")
+	for _, w := range res.Windows {
+		fmt.Printf("%-6d %-16s %10.1f %10.0f %10.4f %10.0f %10d\n",
+			w.Window, fmt.Sprintf("[%d,%d)", w.Start, w.End),
+			w.MeanDelay, w.P99Delay, w.Throughput, w.Backlog, w.Reordered)
+	}
+	rec := scenario.AnalyzeRecovery(res.Windows)
+	fmt.Printf("\nrecovery     : baseline %.1f  peak %.1f (window %d)",
+		rec.Baseline, rec.Peak, rec.PeakWindow)
+	switch {
+	case !rec.Disturbed:
+		fmt.Println("  no significant excursion")
+	case rec.Recovered:
+		fmt.Printf("  settled by window %d\n", rec.RecoveredWindow)
+	default:
+		fmt.Println("  not settled within the horizon")
+	}
+}
+
+// formatHistogram renders a stripe-size histogram as "size x count" terms
+// in ascending size order, e.g. "1x224 2x24 4x8".
+func formatHistogram(h map[int]int) string {
+	sizes := make([]int, 0, len(h))
+	for s := range h {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	parts := make([]string, len(sizes))
+	for i, s := range sizes {
+		parts[i] = fmt.Sprintf("%dx%d", s, h[s])
+	}
+	return strings.Join(parts, " ")
 }
 
 func max64(a, b int64) int64 {

@@ -27,7 +27,6 @@ import (
 	"math"
 	"math/rand"
 	"os"
-	"strconv"
 	"strings"
 
 	_ "sprinklers/internal/arch" // link the registered workloads
@@ -36,34 +35,12 @@ import (
 	"sprinklers/internal/registry"
 )
 
-// optFlags collects repeated -topt key=value assignments; values parse as
-// number, then bool, then string, matching the option types the registry
-// schemas declare (the schema itself rejects mismatches).
-type optFlags map[string]any
-
-func (o optFlags) String() string { return fmt.Sprintf("%v", map[string]any(o)) }
-
-func (o optFlags) Set(s string) error {
-	k, v, ok := strings.Cut(s, "=")
-	if !ok || k == "" {
-		return fmt.Errorf("want key=value, got %q", s)
-	}
-	if f, err := strconv.ParseFloat(v, 64); err == nil {
-		o[k] = f
-	} else if b, err := strconv.ParseBool(v); err == nil {
-		o[k] = b
-	} else {
-		o[k] = v
-	}
-	return nil
-}
-
 func main() {
 	n := flag.Int("n", 32, "switch size (power of two)")
 	load := flag.Float64("load", 0.95, "total input-port load in (0, 1)")
 	kind := flag.String("traffic", "adversarial",
 		"rate split: adversarial, "+strings.Join(registry.WorkloadNames(), ", "))
-	topts := optFlags{}
+	topts := registry.OptionFlag{}
 	flag.Var(topts, "topt", "workload option as key=value (repeatable); see -list for schemas")
 	trials := flag.Int("trials", 20000, "Monte-Carlo placements")
 	seed := flag.Int64("seed", 1, "random seed")

@@ -10,17 +10,22 @@
 //
 // Usage:
 //
-//	sweep -spec study.json [-out results.jsonl] [-csv|-detail] [-quiet]
-//	sweep -builtin fig6|fig7|fig5|table1|smoke [-replicas 5] [-out ...]
+//	sweep -spec study.json [-out results.jsonl] [-csv|-trajcsv|-detail] [-quiet]
+//	sweep -builtin fig6|fig7|fig5|table1|smoke|flashcrowd [-replicas 5] [-out ...]
 //	sweep -algs sprinklers,foff -traffic uniform -ns 32 \
 //	      -loads 0.5,0.9 -replicas 3 -slots 200000 [-out ...]
+//	sweep -algs sprinklers -traffic uniform -scenarios flashcrowd -windows 12 ...
 //	sweep -list
 //
 // Algorithm and traffic names resolve through the shared registry (-list
 // enumerates them). In a spec file an entry may carry typed options, e.g.
 // {"algorithm": "pf", "options": {"threshold": 64}} or {"traffic":
 // "hotspot", "options": {"fraction": 0.75}}; an "as" label keeps two
-// option variants of one architecture distinct within a single study.
+// option variants of one architecture distinct within a single study. A
+// "scenarios" spec field (or the -scenarios flag) replays registered
+// dynamic scenarios — flash crowds, rate drift, link failures — over every
+// grid point and records per-window trajectory rows alongside the point
+// aggregates (-trajcsv emits them as CSV).
 //
 // Exit status: 0 on success, 1 on error, 3 when -halt-after stopped the run
 // at the checkpoint limit (used by the CI resume test to simulate a kill).
@@ -39,7 +44,7 @@ import (
 
 func main() {
 	specPath := flag.String("spec", "", "path to a JSON study spec")
-	builtin := flag.String("builtin", "", "built-in study: fig6, fig7, fig5, table1, smoke")
+	builtin := flag.String("builtin", "", "built-in study: fig6, fig7, fig5, table1, smoke, flashcrowd")
 	name := flag.String("name", "", "study name (flag-built specs)")
 	kind := flag.String("kind", "sim", "study kind: sim, markov, bound (flag-built specs)")
 	algsFlag := flag.String("algs", "", "comma-separated algorithms, or \"all\" (flag-built specs)")
@@ -47,6 +52,8 @@ func main() {
 	nsFlag := flag.String("ns", "32", "comma-separated switch sizes (flag-built specs)")
 	loadsFlag := flag.String("loads", "", "comma-separated loads (default: the paper's grid)")
 	burstsFlag := flag.String("bursts", "", "comma-separated mean burst lengths; 0 = Bernoulli (overrides spec when set)")
+	scenariosFlag := flag.String("scenarios", "", "comma-separated dynamic scenarios (overrides spec when set)")
+	windows := flag.Int("windows", 0, "time-series windows per point (overrides spec when set; scenarios default to 10)")
 	replicas := flag.Int("replicas", 0, "independently-seeded runs per point (overrides spec when set)")
 	slots := flag.Int64("slots", 0, "measured slots per replica (overrides spec when set)")
 	warmup := flag.Int64("warmup", 0, "warmup slots (default slots/5)")
@@ -54,6 +61,7 @@ func main() {
 	out := flag.String("out", "", "JSONL checkpoint file; appended as points finish, resumed if it exists")
 	par := flag.Int("par", 0, "worker parallelism (default GOMAXPROCS)")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of the text tables")
+	trajCSV := flag.Bool("trajcsv", false, "emit per-window trajectory CSV instead of the text tables")
 	detail := flag.Bool("detail", false, "print per-point detail after the tables")
 	quiet := flag.Bool("quiet", false, "suppress live progress on stderr")
 	emitSpec := flag.Bool("emit-spec", false, "print the resolved spec as JSON and exit without running")
@@ -70,7 +78,8 @@ func main() {
 	spec, err := buildSpec(specArgs{
 		specPath: *specPath, builtin: *builtin, name: *name, kind: *kind,
 		algs: *algsFlag, traffic: *trafficFlag, ns: *nsFlag, loads: *loadsFlag,
-		bursts: *burstsFlag, replicas: *replicas, slots: *slots,
+		bursts: *burstsFlag, scenarios: *scenariosFlag, windows: *windows,
+		replicas: *replicas, slots: *slots,
 		warmup: *warmup, seed: *seed,
 	})
 	if err != nil {
@@ -119,6 +128,10 @@ func main() {
 		if err := experiment.RenderStudyCSV(os.Stdout, results); err != nil {
 			fatal(err)
 		}
+	case *trajCSV:
+		if err := experiment.RenderTrajectoryCSV(os.Stdout, results); err != nil {
+			fatal(err)
+		}
 	case spec.Kind == experiment.MarkovStudy:
 		fmt.Printf("Expected intermediate-stage delay (cycles) versus switch size\n\n")
 		experiment.RenderMarkovTable(os.Stdout, results)
@@ -133,6 +146,10 @@ func main() {
 		fmt.Printf("%s: average delay (slots) vs load, %d replicas/point, %d measured slots/replica\n\n",
 			label, spec.Replicas, spec.Slots)
 		experiment.RenderStudyCurves(os.Stdout, results)
+		if spec.Windows > 0 {
+			fmt.Printf("\nper-window trajectories (%d windows/point)\n\n", spec.Windows)
+			experiment.RenderTrajectory(os.Stdout, results)
+		}
 		if *detail {
 			fmt.Println()
 			experiment.RenderStudyDetail(os.Stdout, results)
@@ -143,6 +160,8 @@ func main() {
 type specArgs struct {
 	specPath, builtin, name, kind    string
 	algs, traffic, ns, loads, bursts string
+	scenarios                        string
+	windows                          int
 	replicas                         int
 	slots, warmup, seed              int64
 }
@@ -201,6 +220,16 @@ func buildSpec(a specArgs) (experiment.Spec, error) {
 			return spec, err
 		}
 		spec.Bursts = bs
+	}
+	if a.scenarios != "" {
+		spec.Scenarios = nil
+		for _, s := range strings.Split(a.scenarios, ",") {
+			spec.Scenarios = append(spec.Scenarios,
+				experiment.ScenarioSpec{Name: experiment.ScenarioKind(strings.TrimSpace(s))})
+		}
+	}
+	if a.windows > 0 {
+		spec.Windows = a.windows
 	}
 	if a.loads != "" {
 		ls, err := experiment.ParseFloatList(a.loads)

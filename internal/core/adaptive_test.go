@@ -155,3 +155,36 @@ func singleFlow(n, i, j int, r float64) [][]float64 {
 	rates[i][j] = r
 	return rates
 }
+
+// TestStripeSizeHistogram: the histogram must account for every VOQ and
+// track a resize.
+func TestStripeSizeHistogram(t *testing.T) {
+	const n = 16
+	sw := adaptiveSwitch(t, n, 1024)
+	h := sw.StripeSizeHistogram()
+	total := 0
+	for size, count := range h {
+		if size < 1 {
+			t.Fatalf("histogram contains stripe size %d", size)
+		}
+		total += count
+	}
+	if total != n*n {
+		t.Fatalf("histogram covers %d VOQs, want %d", total, n*n)
+	}
+	// An unprovisioned switch (no rates) sits entirely at size 1.
+	if h[1] != n*n {
+		t.Fatalf("zero-rate switch not all at size 1: %v", h)
+	}
+	// Drive one hot flow until it resizes; the histogram must move.
+	m := traffic.NewMatrix(singleFlow(n, 2, 9, 0.5))
+	src := traffic.NewBernoulli(m, rand.New(rand.NewSource(83)))
+	for tt := 0; tt < 40000; tt++ {
+		src.Next(sw.Now(), sw.Arrive)
+		sw.Step(nil)
+	}
+	h = sw.StripeSizeHistogram()
+	if h[1] == n*n {
+		t.Fatal("histogram unchanged after a hot flow should have resized")
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	_ "sprinklers/internal/arch" // link every built-in architecture and workload
 	"sprinklers/internal/registry"
+	"sprinklers/internal/scenario"
 	"sprinklers/internal/sim"
 	"sprinklers/internal/stats"
 	"sprinklers/internal/traffic"
@@ -107,6 +108,29 @@ func AllTraffic() []TrafficKind {
 	return out
 }
 
+// ScenarioKind selects one of the registered dynamic scenarios.
+type ScenarioKind string
+
+// The built-in dynamic scenarios (internal/scenario). As with algorithms,
+// any name registered in internal/registry is equally valid.
+const (
+	FlashCrowd   ScenarioKind = "flashcrowd"
+	RateDrift    ScenarioKind = "ratedrift"
+	HotspotShift ScenarioKind = "hotspotshift"
+	LinkFail     ScenarioKind = "linkfail"
+	LoadStep     ScenarioKind = "loadstep"
+)
+
+// AllScenarios lists every registered scenario in canonical order.
+func AllScenarios() []ScenarioKind {
+	names := registry.ScenarioNames()
+	out := make([]ScenarioKind, len(names))
+	for i, n := range names {
+		out[i] = ScenarioKind(n)
+	}
+	return out
+}
+
 // Pattern builds the rate matrix for the named workload at the given load
 // with every option at its schema default.
 func Pattern(kind TrafficKind, n int, load float64, rng *rand.Rand) (*traffic.Matrix, error) {
@@ -127,6 +151,7 @@ func PatternOpts(kind TrafficKind, n int, load float64, rng *rand.Rand, opts map
 type Point struct {
 	Algorithm  Algorithm
 	Traffic    TrafficKind
+	Scenario   ScenarioKind // dynamic scenario replayed, "" for static points
 	N          int
 	Load       float64
 	MeanDelay  float64 // slots
@@ -135,6 +160,9 @@ type Point struct {
 	Throughput float64 // delivered / offered over the measured window
 	Reordered  int64   // out-of-order deliveries observed
 	Delivered  int64
+	// Windows is the per-window time series, present when the point ran
+	// with windowed collection (Config.Windows > 0).
+	Windows []stats.WindowPoint
 }
 
 // Config parameterizes a sweep.
@@ -154,6 +182,15 @@ type Config struct {
 	// workload beyond name selection; nil selects every schema default.
 	AlgOptions     registry.Options
 	TrafficOptions registry.Options
+	// Scenario, when non-empty, replays the named dynamic scenario over
+	// the point: the workload supplies the base rate matrix, the scenario
+	// perturbs it mid-run. ScenarioOptions parameterizes it.
+	Scenario        ScenarioKind
+	ScenarioOptions registry.Options
+	// Windows, when > 0, splits the measured horizon into that many
+	// time-series windows recorded on the resulting Point. Scenario
+	// points default to 10 windows.
+	Windows int
 	// Parallelism bounds concurrent points; 0 means GOMAXPROCS.
 	Parallelism int
 }
@@ -171,9 +208,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// RunPoint measures one (algorithm, load) point.
+// RunPoint measures one (algorithm, load) point. With a Scenario (or
+// Windows > 0) the point runs through the dynamic-scenario engine, which
+// uses the same seeding scheme, so a windowed static point reproduces the
+// plain path's packet trace exactly.
 func RunPoint(alg Algorithm, cfg Config, load float64) (Point, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Scenario != "" || cfg.Windows > 0 {
+		return runScenarioPoint(alg, cfg, load)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	m, err := PatternOpts(cfg.Traffic, cfg.N, load, rng, cfg.TrafficOptions)
 	if err != nil {
@@ -207,6 +250,46 @@ func RunPoint(alg Algorithm, cfg Config, load float64) (Point, error) {
 	}
 	if offered > 0 {
 		p.Throughput = float64(delivered) / float64(offered)
+	}
+	return p, nil
+}
+
+// runScenarioPoint measures one point through the dynamic-scenario engine,
+// with windowed time-series collection.
+func runScenarioPoint(alg Algorithm, cfg Config, load float64) (Point, error) {
+	r, err := scenario.Run(scenario.Config{
+		Algorithm:       string(alg),
+		AlgOptions:      cfg.AlgOptions,
+		Traffic:         string(cfg.Traffic),
+		TrafficOptions:  cfg.TrafficOptions,
+		Scenario:        string(cfg.Scenario),
+		ScenarioOptions: cfg.ScenarioOptions,
+		N:               cfg.N,
+		Load:            load,
+		Burst:           cfg.Burst,
+		Slots:           cfg.Slots,
+		Warmup:          cfg.Warmup,
+		Windows:         cfg.Windows,
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		return Point{}, err
+	}
+	p := Point{
+		Algorithm: alg,
+		Traffic:   cfg.Traffic,
+		Scenario:  cfg.Scenario,
+		N:         cfg.N,
+		Load:      load,
+		MeanDelay: r.Delay.Mean(),
+		P99Delay:  float64(r.Delay.Percentile(99)),
+		MaxDelay:  float64(r.Delay.Max()),
+		Reordered: r.Reorder.Reordered(),
+		Delivered: r.Delivered,
+		Windows:   r.Windows,
+	}
+	if r.Offered > 0 {
+		p.Throughput = float64(r.Delivered) / float64(r.Offered)
 	}
 	return p, nil
 }

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -80,7 +81,7 @@ func TestSweepDeterministic(t *testing.T) {
 		t.Fatalf("sweep sizes %d/%d", len(a), len(b))
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("sweep not deterministic at point %d: %+v vs %+v", i, a[i], b[i])
 		}
 	}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// fuzzBuiltins seeds the corpus with every built-in study — the specs the
+// harness actually ships — so the fuzzer starts from realistic shapes.
+var fuzzBuiltins = []string{"fig6", "fig7", "fig5", "table1", "smoke", "flashcrowd"}
+
+// FuzzSpecJSON fuzzes the full spec pipeline: parse, default, validate. A
+// spec that validates must (a) survive a marshal/parse/default round trip
+// unchanged — normalization is idempotent and the canonical JSON form is
+// stable, the property checkpoint-header comparison rests on — and (b)
+// enumerate a grid whose size matches the axis product.
+func FuzzSpecJSON(f *testing.F) {
+	for _, name := range fuzzBuiltins {
+		spec, err := BuiltinSpec(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		raw, err := MarshalSpecIndent(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+		norm, err := MarshalSpecIndent(spec.WithDefaults())
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(norm)
+	}
+	f.Add([]byte(`{"kind":"sim","algorithms":[{"algorithm":"pf","options":{"threshold":8},"as":"pf8"}],` +
+		`"traffic":["uniform"],"scenarios":[{"scenario":"linkfail","options":{"links":2}}],` +
+		`"loads":[0.5],"sizes":[8],"windows":4,"slots":100}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(bytes.NewReader(data))
+		if err != nil {
+			return // not a spec; rejection is the correct outcome
+		}
+		d := s.WithDefaults()
+		if err := d.Validate(); err != nil {
+			return // invalid grid; rejection is the correct outcome
+		}
+		// Bound the enumerated grid so a fuzzed spec with huge axes cannot
+		// OOM the worker; the product is what Points would materialize.
+		axes := []int{len(d.Algorithms), len(d.Traffic), len(d.Sizes), len(d.Loads)}
+		points := 1
+		for _, n := range axes {
+			if n > 0 {
+				points *= n
+			}
+			if points > 1<<16 {
+				return
+			}
+		}
+		if d.Kind == SimStudy && len(d.Bursts) > 0 {
+			points *= len(d.Bursts)
+		}
+		if len(d.Scenarios) > 0 {
+			points *= len(d.Scenarios)
+		}
+		if points > 1<<16 {
+			return
+		}
+		if got := d.NumPoints(); got != points {
+			t.Fatalf("NumPoints %d, axis product %d", got, points)
+		}
+
+		// Defaulting must be idempotent...
+		d2 := d.WithDefaults()
+		if !reflect.DeepEqual(d, d2) {
+			t.Fatalf("WithDefaults not idempotent:\nfirst  %+v\nsecond %+v", d, d2)
+		}
+		// ...and the canonical serialized form must round-trip exactly.
+		out, err := MarshalSpecIndent(d)
+		if err != nil {
+			t.Fatalf("marshal of a valid spec failed: %v", err)
+		}
+		back, err := ParseSpec(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("reparse of the canonical form failed: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(back.WithDefaults(), d) {
+			t.Fatalf("canonical form drifted across a round trip:\n%s", out)
+		}
+		if err := back.WithDefaults().Validate(); err != nil {
+			t.Fatalf("reparsed spec no longer validates: %v", err)
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestResumeByteIdenticalUnderRandomKills is the property behind the CI
+// resume e2e, generalized from one fixed halt point to randomized kill
+// schedules over a scenario-bearing study: however many times the study is
+// killed, wherever the kills land, and whatever partial garbage a kill
+// leaves on the trailing line, the finished checkpoint must be
+// byte-identical to an uninterrupted run's.
+func TestResumeByteIdenticalUnderRandomKills(t *testing.T) {
+	spec := flashSpec() // scenario-bearing: window series ride on every line
+	total := spec.WithDefaults().NumPoints()
+	if total < 4 {
+		t.Fatalf("property needs a few points, grid has %d", total)
+	}
+	dir := t.TempDir()
+
+	fullPath := filepath.Join(dir, "full.jsonl")
+	if _, err := RunStudy(spec, StudyConfig{ResultsPath: fullPath, Parallelism: 4}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(20260729))
+	for trial := 0; trial < 5; trial++ {
+		path := filepath.Join(dir, "resumed.jsonl")
+		if err := os.RemoveAll(path); err != nil {
+			t.Fatal(err)
+		}
+		// Kill the study at 1..3 random points before letting it finish.
+		kills := 1 + rng.Intn(3)
+		var schedule []int
+		for k := 0; k < kills; k++ {
+			halt := 1 + rng.Intn(total-1)
+			schedule = append(schedule, halt)
+			_, err := RunStudy(spec, StudyConfig{
+				ResultsPath:     path,
+				Parallelism:     1 + rng.Intn(4),
+				HaltAfterPoints: halt,
+			})
+			if err != ErrHalted && err != nil {
+				t.Fatalf("trial %d schedule %v: halted run failed: %v", trial, schedule, err)
+			}
+			// Half the time, simulate the kill landing mid-write: append a
+			// partial record that the resume must truncate away.
+			if rng.Intn(2) == 0 {
+				garbage := []byte(`{"algorithm":"spr`)[:1+rng.Intn(16)]
+				f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.Write(garbage); err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+			}
+		}
+		if _, err := RunStudy(spec, StudyConfig{ResultsPath: path, Parallelism: 1 + rng.Intn(4)}); err != nil {
+			t.Fatalf("trial %d schedule %v: final resume failed: %v", trial, schedule, err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d (kill schedule %v): resumed checkpoint differs from uninterrupted run\ngot  %d bytes\nwant %d bytes",
+				trial, schedule, len(got), len(want))
+		}
+	}
+}

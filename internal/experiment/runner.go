@@ -41,6 +41,11 @@ type PointResult struct {
 	// exact below float64 underflow).
 	QueueOverload  string `json:"queue_overload,omitempty"`
 	SwitchOverload string `json:"switch_overload,omitempty"`
+	// Windows is the replica-aggregated per-window time series (windowed
+	// studies only): window means of the per-replica means for delay, p99
+	// and backlog, totals for offered/delivered/reordered, and throughput
+	// recomputed from the totals.
+	Windows []stats.WindowPoint `json:"windows,omitempty"`
 }
 
 // ErrHalted is returned by RunStudy when StudyConfig.HaltAfterPoints stopped
@@ -92,7 +97,7 @@ func replicaSeed(base int64, pi, rep int) int64 {
 func runReplica(spec Spec, pi int, key PointKey, rep int) (Point, error) {
 	alg := spec.algEntry(key.Algorithm)
 	tk := spec.trafficEntry(key.Traffic)
-	return RunPoint(alg.Name, Config{
+	cfg := Config{
 		N:              key.N,
 		Traffic:        tk.Name,
 		Slots:          spec.Slots,
@@ -101,8 +106,15 @@ func runReplica(spec Spec, pi int, key PointKey, rep int) (Point, error) {
 		Seed:           replicaSeed(spec.Seed, pi, rep),
 		AlgOptions:     alg.Options,
 		TrafficOptions: tk.Options,
+		Windows:        spec.Windows,
 		Parallelism:    1, // RunPoint is single-threaded; pool-level parallelism only
-	}, key.Load)
+	}
+	if key.Scenario != "" {
+		sc := spec.scenarioEntry(key.Scenario)
+		cfg.Scenario = sc.Name
+		cfg.ScenarioOptions = sc.Options
+	}
+	return RunPoint(alg.Name, cfg, key.Load)
 }
 
 // analyticPoint evaluates one point of a markov or bound study.
@@ -136,7 +148,40 @@ func aggregate(key PointKey, reps []Point) PointResult {
 	r.P99Delay /= float64(len(reps))
 	r.MeanDelay, r.DelayCI95 = stats.MeanCI95(delays)
 	r.Throughput, r.ThroughputCI95 = stats.MeanCI95(thrus)
+	r.Windows = aggregateWindows(reps)
 	return r
+}
+
+// aggregateWindows folds the replicas' per-window series into one: every
+// replica ran the same window grid, so window w aggregates elementwise —
+// means for the delay/backlog gauges, totals for the counters.
+func aggregateWindows(reps []Point) []stats.WindowPoint {
+	if len(reps) == 0 || len(reps[0].Windows) == 0 {
+		return nil
+	}
+	k := float64(len(reps))
+	out := make([]stats.WindowPoint, len(reps[0].Windows))
+	for wi := range out {
+		w := reps[0].Windows[wi]
+		agg := stats.WindowPoint{Window: w.Window, Start: w.Start, End: w.End}
+		for _, p := range reps {
+			pw := p.Windows[wi]
+			agg.MeanDelay += pw.MeanDelay
+			agg.P99Delay += pw.P99Delay
+			agg.Backlog += pw.Backlog
+			agg.Offered += pw.Offered
+			agg.Delivered += pw.Delivered
+			agg.Reordered += pw.Reordered
+		}
+		agg.MeanDelay /= k
+		agg.P99Delay /= k
+		agg.Backlog /= k
+		if agg.Offered > 0 {
+			agg.Throughput = float64(agg.Delivered) / float64(agg.Offered)
+		}
+		out[wi] = agg
+	}
+	return out
 }
 
 // RunStudy executes spec, sharding (point, replica) jobs across a worker

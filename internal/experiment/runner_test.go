@@ -294,7 +294,7 @@ func TestStudyRenderers(t *testing.T) {
 	if len(lines) != 5 {
 		t.Fatalf("CSV lines: %d", len(lines))
 	}
-	if !strings.HasPrefix(lines[0], "algorithm,traffic,n,load,burst,replicas") {
+	if !strings.HasPrefix(lines[0], "algorithm,traffic,scenario,n,load,burst,replicas") {
 		t.Fatalf("CSV header: %s", lines[0])
 	}
 	if !strings.Contains(detail.String(), "uniform") {

@@ -138,6 +138,60 @@ func (t *TrafficSpec) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
+// ScenarioSpec selects one dynamic-scenario series of a study, with the
+// same JSON forms and labeling rules as AlgorithmSpec (e.g. {"scenario":
+// "flashcrowd", "options": {"surge": 0.95}, "as": "crowd-95"}). A study
+// with scenarios runs every grid point under each scenario's event
+// timeline — the workload supplies the base rate matrix the scenario
+// perturbs — and collects the windowed time series alongside the point
+// aggregates.
+type ScenarioSpec struct {
+	// Name is the registered scenario name.
+	Name ScenarioKind `json:"scenario"`
+	// As relabels the series; it defaults to Name and must be unique
+	// within a spec.
+	As string `json:"as,omitempty"`
+	// Options parameterizes the scenario; WithDefaults fills the
+	// registered schema's defaults in.
+	Options registry.Options `json:"options,omitempty"`
+}
+
+// Label returns the series label: As when set, else the scenario name.
+func (s ScenarioSpec) Label() ScenarioKind {
+	if s.As != "" {
+		return ScenarioKind(s.As)
+	}
+	return s.Name
+}
+
+// MarshalJSON matches AlgorithmSpec.MarshalJSON.
+func (s ScenarioSpec) MarshalJSON() ([]byte, error) {
+	if len(s.Options) == 0 && s.As == "" {
+		return json.Marshal(string(s.Name))
+	}
+	type raw ScenarioSpec
+	return json.Marshal(raw(s))
+}
+
+// UnmarshalJSON matches AlgorithmSpec.UnmarshalJSON.
+func (s *ScenarioSpec) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		return json.Unmarshal(b, &s.Name)
+	}
+	type raw ScenarioSpec
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var r raw
+	if err := dec.Decode(&r); err != nil {
+		return err
+	}
+	if r.Name == "" {
+		return fmt.Errorf("scenario entry %s missing its \"scenario\" name", b)
+	}
+	*s = ScenarioSpec(r)
+	return nil
+}
+
 // Algs wraps plain architecture names as option-free spec entries.
 func Algs(names ...Algorithm) []AlgorithmSpec {
 	out := make([]AlgorithmSpec, len(names))
@@ -154,6 +208,31 @@ func Traffics(kinds ...TrafficKind) []TrafficSpec {
 		out[i] = TrafficSpec{Name: k}
 	}
 	return out
+}
+
+// Scenarios wraps plain scenario names as option-free spec entries.
+func Scenarios(kinds ...ScenarioKind) []ScenarioSpec {
+	out := make([]ScenarioSpec, len(kinds))
+	for i, k := range kinds {
+		out[i] = ScenarioSpec{Name: k}
+	}
+	return out
+}
+
+// AdaptiveSprinklers is the tuned adaptive-Sprinklers series the dynamic
+// comparisons share (the flashcrowd builtin, cmd/scenario's default
+// comparison, examples/flashcrowd). The default 4*N*N measurement window
+// is only 256 slots at N=8 — too noisy to hold a stripe size steady — so
+// the series pins a 1024-slot window with a one-window hold, which tracks
+// a crowd without thrashing at the small sizes these studies run at.
+func AdaptiveSprinklers() AlgorithmSpec {
+	return AlgorithmSpec{
+		Name: Sprinklers,
+		As:   "sprinklers-adaptive",
+		Options: registry.Options{
+			"adaptive": true, "adaptive-window": 1024, "adaptive-hold": 1,
+		},
+	}
 }
 
 // Spec declares a full simulation study as data: the cartesian grid of
@@ -182,6 +261,16 @@ type Spec struct {
 	// Bursts is the burstiness grid: 0 runs Bernoulli arrivals as in the
 	// paper, b >= 1 runs on/off arrivals with mean burst length b.
 	Bursts []float64 `json:"bursts,omitempty"`
+	// Scenarios are the dynamic-scenario series: each grid point runs once
+	// per scenario with the scenario's event timeline perturbing the
+	// workload's rate matrix mid-run (sim studies only; empty keeps every
+	// point static).
+	Scenarios []ScenarioSpec `json:"scenarios,omitempty"`
+	// Windows splits each replica's measured horizon into this many
+	// equal time-series windows (per-window delay, backlog, throughput,
+	// reordering recorded on every point). 0 disables windowed collection
+	// unless scenarios are present, where it defaults to 10.
+	Windows int `json:"windows,omitempty"`
 	// Replicas is the number of independently-seeded runs per grid point;
 	// replica means are aggregated into a mean with a 95% confidence
 	// interval. Defaults to 1.
@@ -207,6 +296,23 @@ type Spec struct {
 func (s Spec) WithDefaults() Spec {
 	if s.Kind == "" {
 		s.Kind = SimStudy
+	}
+	// A JSON "[]" and an absent field must canonicalize identically: the
+	// checkpoint header is compared against a re-parsed spec with
+	// reflect.DeepEqual, and omitempty erases the distinction on marshal —
+	// an empty-but-non-nil slice here would make a study refuse to resume
+	// its own checkpoint. (Found by FuzzSpecJSON.)
+	if len(s.Algorithms) == 0 {
+		s.Algorithms = nil
+	}
+	if len(s.Traffic) == 0 {
+		s.Traffic = nil
+	}
+	if len(s.Scenarios) == 0 {
+		s.Scenarios = nil
+	}
+	if len(s.Bursts) == 0 {
+		s.Bursts = nil
 	}
 	if len(s.Bursts) == 0 && s.Kind == SimStudy {
 		s.Bursts = []float64{0}
@@ -243,6 +349,21 @@ func (s Spec) WithDefaults() Spec {
 			}
 		}
 		s.Traffic = tks
+	}
+	if len(s.Scenarios) > 0 {
+		if s.Windows == 0 {
+			s.Windows = 10
+		}
+		scs := make([]ScenarioSpec, len(s.Scenarios))
+		for i, sc := range s.Scenarios {
+			scs[i] = sc
+			if reg, ok := registry.LookupScenario(string(sc.Name)); ok {
+				if norm, err := reg.Options.Normalize(sc.Options); err == nil {
+					scs[i].Options = norm
+				}
+			}
+		}
+		s.Scenarios = scs
 	}
 	return s
 }
@@ -281,6 +402,9 @@ func (s Spec) Validate() error {
 	if s.Kind != SimStudy {
 		if len(s.Algorithms) != 0 || len(s.Traffic) != 0 {
 			return fmt.Errorf("experiment: %s studies take no algorithms or traffic kinds", s.Kind)
+		}
+		if len(s.Scenarios) != 0 || s.Windows != 0 {
+			return fmt.Errorf("experiment: %s studies take no scenarios or windows", s.Kind)
 		}
 		if s.Replicas > 1 {
 			return fmt.Errorf("experiment: %s studies are deterministic; replicas must be 1", s.Kind)
@@ -336,10 +460,31 @@ func (s Spec) Validate() error {
 		}
 		seenT[k.Label()] = true
 	}
+	seenSc := map[ScenarioKind]bool{}
+	for _, sc := range s.Scenarios {
+		reg, ok := registry.LookupScenario(string(sc.Name))
+		if !ok {
+			return fmt.Errorf("experiment: unknown scenario %q (registered: %s)",
+				sc.Name, strings.Join(registry.ScenarioNames(), ", "))
+		}
+		if _, err := reg.Options.Normalize(sc.Options); err != nil {
+			return fmt.Errorf("experiment: scenario %q: %v", sc.Label(), err)
+		}
+		if seenSc[sc.Label()] {
+			return fmt.Errorf("experiment: scenario series %q appears twice; relabel one with \"as\"", sc.Label())
+		}
+		seenSc[sc.Label()] = true
+	}
 	for _, b := range s.Bursts {
 		if b != 0 && b < 1 {
 			return fmt.Errorf("experiment: burst %v invalid (0 = Bernoulli, otherwise mean burst >= 1)", b)
 		}
+	}
+	if s.Windows < 0 {
+		return fmt.Errorf("experiment: windows %d < 0", s.Windows)
+	}
+	if s.Windows > 0 && sim.Slot(s.Windows) > s.Slots {
+		return fmt.Errorf("experiment: %d windows do not fit %d measured slots", s.Windows, s.Slots)
 	}
 	if s.Replicas < 1 {
 		return fmt.Errorf("experiment: replicas %d < 1", s.Replicas)
@@ -356,11 +501,12 @@ func (s Spec) Validate() error {
 // PointKey identifies one grid point of a study. For analytic kinds
 // (markov, bound) only N and Load are set.
 type PointKey struct {
-	Algorithm Algorithm   `json:"algorithm,omitempty"`
-	Traffic   TrafficKind `json:"traffic,omitempty"`
-	N         int         `json:"n"`
-	Load      float64     `json:"load"`
-	Burst     float64     `json:"burst,omitempty"`
+	Algorithm Algorithm    `json:"algorithm,omitempty"`
+	Traffic   TrafficKind  `json:"traffic,omitempty"`
+	Scenario  ScenarioKind `json:"scenario,omitempty"`
+	N         int          `json:"n"`
+	Load      float64      `json:"load"`
+	Burst     float64      `json:"burst,omitempty"`
 }
 
 func (k PointKey) String() string {
@@ -370,6 +516,9 @@ func (k PointKey) String() string {
 	s := fmt.Sprintf("%s %s N=%d load=%.4g", k.Algorithm, k.Traffic, k.N, k.Load)
 	if k.Burst > 0 {
 		s += fmt.Sprintf(" burst=%.4g", k.Burst)
+	}
+	if k.Scenario != "" {
+		s += fmt.Sprintf(" scenario=%s", k.Scenario)
 	}
 	return s
 }
@@ -392,12 +541,21 @@ func (s Spec) Points() []PointKey {
 	if len(bursts) == 0 {
 		bursts = []float64{0}
 	}
+	scenarios := []ScenarioKind{""}
+	if len(s.Scenarios) > 0 {
+		scenarios = scenarios[:0]
+		for _, sc := range s.Scenarios {
+			scenarios = append(scenarios, sc.Label())
+		}
+	}
 	for _, a := range s.Algorithms {
 		for _, tk := range s.Traffic {
 			for _, n := range s.Sizes {
 				for _, b := range bursts {
-					for _, l := range s.Loads {
-						out = append(out, PointKey{Algorithm: a.Label(), Traffic: tk.Label(), N: n, Load: l, Burst: b})
+					for _, sc := range scenarios {
+						for _, l := range s.Loads {
+							out = append(out, PointKey{Algorithm: a.Label(), Traffic: tk.Label(), Scenario: sc, N: n, Load: l, Burst: b})
+						}
 					}
 				}
 			}
@@ -426,6 +584,16 @@ func (s Spec) trafficEntry(label TrafficKind) TrafficSpec {
 		}
 	}
 	return TrafficSpec{Name: label}
+}
+
+// scenarioEntry resolves a point's scenario label back to its spec entry.
+func (s Spec) scenarioEntry(label ScenarioKind) ScenarioSpec {
+	for _, sc := range s.Scenarios {
+		if sc.Label() == label {
+			return sc
+		}
+	}
+	return ScenarioSpec{Name: label}
 }
 
 // NumPoints returns the size of the study grid.
@@ -493,6 +661,9 @@ func ParseFloatList(s string) ([]float64, error) {
 //   - "fig5":   Figure 5 (closed-form intermediate-stage delay vs N)
 //   - "table1": Table 1 (per-queue overload bounds)
 //   - "smoke":  a seconds-scale replicated study used by the CI resume test
+//   - "flashcrowd": a seconds-scale dynamic study — static Sprinklers,
+//     adaptive Sprinklers and the load-balanced baseline riding out a
+//     flash crowd, with per-window recovery trajectories
 func BuiltinSpec(name string) (Spec, error) {
 	switch name {
 	case "fig6":
@@ -517,6 +688,23 @@ func BuiltinSpec(name string) (Spec, error) {
 			Name: "table1", Kind: BoundStudy,
 			Loads: []float64{0.90, 0.91, 0.92, 0.93, 0.94, 0.95, 0.96, 0.97},
 			Sizes: []int{1024, 2048, 4096},
+		}, nil
+	case "flashcrowd":
+		return Spec{
+			Name: "flashcrowd", Kind: SimStudy,
+			Algorithms: []AlgorithmSpec{
+				{Name: Sprinklers},
+				AdaptiveSprinklers(),
+				{Name: LoadBalanced},
+			},
+			Traffic:   Traffics(UniformTraffic),
+			Scenarios: Scenarios(FlashCrowd),
+			Loads:     []float64{0.5, 0.8},
+			Sizes:     []int{8},
+			Replicas:  2,
+			Slots:     6_000,
+			Windows:   12,
+			Seed:      1,
 		}, nil
 	case "smoke":
 		return Spec{

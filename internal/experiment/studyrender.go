@@ -10,6 +10,7 @@ import (
 	"unicode/utf8"
 
 	"sprinklers/internal/bound"
+	"sprinklers/internal/scenario"
 )
 
 // Renderers for study results (PointResult). The older []Point renderers in
@@ -34,9 +35,10 @@ func cell(r PointResult) string {
 }
 
 type curveGroup struct {
-	traffic TrafficKind
-	n       int
-	burst   float64
+	traffic  TrafficKind
+	scenario ScenarioKind
+	n        int
+	burst    float64
 }
 
 // RenderStudyCurves writes delay-versus-load tables, one per (traffic, size,
@@ -49,7 +51,7 @@ func RenderStudyCurves(w io.Writer, rs []PointResult) {
 	var groups []curveGroup
 	byGroup := map[curveGroup][]PointResult{}
 	for _, r := range rs {
-		g := curveGroup{r.Traffic, r.N, r.Burst}
+		g := curveGroup{r.Traffic, r.Scenario, r.N, r.Burst}
 		if _, ok := byGroup[g]; !ok {
 			groups = append(groups, g)
 		}
@@ -60,10 +62,13 @@ func RenderStudyCurves(w io.Writer, rs []PointResult) {
 		if gi > 0 {
 			fmt.Fprintln(w)
 		}
-		if multi || g.burst > 0 {
+		if multi || g.burst > 0 || g.scenario != "" {
 			fmt.Fprintf(w, "traffic=%s N=%d", g.traffic, g.n)
 			if g.burst > 0 {
 				fmt.Fprintf(w, " burst=%.4g", g.burst)
+			}
+			if g.scenario != "" {
+				fmt.Fprintf(w, " scenario=%s", g.scenario)
 			}
 			fmt.Fprintln(w)
 		}
@@ -112,7 +117,7 @@ func RenderStudyCurves(w io.Writer, rs []PointResult) {
 func RenderStudyCSV(w io.Writer, rs []PointResult) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"algorithm", "traffic", "n", "load", "burst", "replicas",
+		"algorithm", "traffic", "scenario", "n", "load", "burst", "replicas",
 		"mean_delay_slots", "delay_ci95", "p99_delay_slots", "max_delay_slots",
 		"throughput", "throughput_ci95", "reordered", "delivered",
 		"queue_overload", "switch_overload",
@@ -123,6 +128,7 @@ func RenderStudyCSV(w io.Writer, rs []PointResult) error {
 		rec := []string{
 			string(r.Algorithm),
 			string(r.Traffic),
+			string(r.Scenario),
 			strconv.Itoa(r.N),
 			strconv.FormatFloat(r.Load, 'f', 4, 64),
 			strconv.FormatFloat(r.Burst, 'f', 2, 64),
@@ -149,16 +155,143 @@ func RenderStudyCSV(w io.Writer, rs []PointResult) error {
 // RenderStudyDetail writes per-point diagnosis rows (tails, throughput with
 // CI, reordering).
 func RenderStudyDetail(w io.Writer, rs []PointResult) {
-	fmt.Fprintf(w, "%-18s %-10s %5s %6s %6s %4s %16s %10s %10s %16s %10s\n",
-		"algorithm", "traffic", "N", "load", "burst", "reps",
+	fmt.Fprintf(w, "%-18s %-10s %-12s %5s %6s %6s %4s %16s %10s %10s %16s %10s\n",
+		"algorithm", "traffic", "scenario", "N", "load", "burst", "reps",
 		"mean-delay", "p99-delay", "max-delay", "thruput", "reordered")
 	for _, r := range rs {
-		fmt.Fprintf(w, "%-18s %-10s %5d %6.2f %6.2f %4d %s %10.1f %10.0f %s %10d\n",
-			r.Algorithm, r.Traffic, r.N, r.Load, r.Burst, r.Replicas,
+		sc := string(r.Scenario)
+		if sc == "" {
+			sc = "-"
+		}
+		fmt.Fprintf(w, "%-18s %-10s %-12s %5d %6.2f %6.2f %4d %s %10.1f %10.0f %s %10d\n",
+			r.Algorithm, r.Traffic, sc, r.N, r.Load, r.Burst, r.Replicas,
 			padLeft(cell(r), 16), r.P99Delay, r.MaxDelay,
 			padLeft(fmt.Sprintf("%.4f±%.4f", r.Throughput, r.ThroughputCI95), 16),
 			r.Reordered)
 	}
+}
+
+type trajGroup struct {
+	traffic  TrafficKind
+	scenario ScenarioKind
+	n        int
+	burst    float64
+	load     float64
+}
+
+// RenderTrajectory writes the windowed time series of every windowed point
+// as delay-versus-window tables, one per (traffic, scenario, size, burst,
+// load) combination with a column per algorithm, followed by a recovery
+// summary per series (baseline, peak and settling window). Points without
+// windows are skipped.
+func RenderTrajectory(w io.Writer, rs []PointResult) {
+	var groups []trajGroup
+	byGroup := map[trajGroup][]PointResult{}
+	for _, r := range rs {
+		if len(r.Windows) == 0 {
+			continue
+		}
+		g := trajGroup{r.Traffic, r.Scenario, r.N, r.Burst, r.Load}
+		if _, ok := byGroup[g]; !ok {
+			groups = append(groups, g)
+		}
+		byGroup[g] = append(byGroup[g], r)
+	}
+	for gi, g := range groups {
+		if gi > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "traffic=%s N=%d load=%.4g", g.traffic, g.n, g.load)
+		if g.burst > 0 {
+			fmt.Fprintf(w, " burst=%.4g", g.burst)
+		}
+		if g.scenario != "" {
+			fmt.Fprintf(w, " scenario=%s", g.scenario)
+		}
+		fmt.Fprintln(w)
+		pts := byGroup[g]
+		fmt.Fprintf(w, "%-6s %-16s", "window", "slots")
+		for _, p := range pts {
+			fmt.Fprint(w, " ", padLeft(string(p.Algorithm), 16))
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%s\n", strings.Repeat("-", 23+17*len(pts)))
+		// Series in one group normally share a window grid, but results
+		// merged from runs with different "windows" settings may be ragged;
+		// render the longest series and dash the gaps rather than panic.
+		rows, rowSrc := 0, 0
+		for pi, p := range pts {
+			if len(p.Windows) > rows {
+				rows, rowSrc = len(p.Windows), pi
+			}
+		}
+		for wi := 0; wi < rows; wi++ {
+			win := pts[rowSrc].Windows[wi]
+			fmt.Fprintf(w, "%-6d %-16s", win.Window, fmt.Sprintf("[%d,%d)", win.Start, win.End))
+			for _, p := range pts {
+				if wi < len(p.Windows) {
+					fmt.Fprint(w, " ", padLeft(fmt.Sprintf("%.1f", p.Windows[wi].MeanDelay), 16))
+				} else {
+					fmt.Fprint(w, " ", padLeft("-", 16))
+				}
+			}
+			fmt.Fprintln(w)
+		}
+		for _, p := range pts {
+			rec := scenario.AnalyzeRecovery(p.Windows)
+			fmt.Fprintf(w, "%-20s baseline %.1f  peak %.1f (w%d)",
+				p.Algorithm, rec.Baseline, rec.Peak, rec.PeakWindow)
+			switch {
+			case !rec.Disturbed:
+				fmt.Fprintln(w, "  no significant excursion")
+			case rec.Recovered:
+				fmt.Fprintf(w, "  recovered w%d\n", rec.RecoveredWindow)
+			default:
+				fmt.Fprintln(w, "  not recovered")
+			}
+		}
+	}
+}
+
+// RenderTrajectoryCSV writes one CSV row per (point, window) pair — the
+// machine-readable trajectory behind RenderTrajectory. Points without
+// windows contribute no rows.
+func RenderTrajectoryCSV(w io.Writer, rs []PointResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"algorithm", "traffic", "scenario", "n", "load", "burst",
+		"window", "start", "end", "mean_delay_slots", "p99_delay_slots",
+		"offered", "delivered", "throughput", "backlog", "reordered",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		for _, win := range r.Windows {
+			rec := []string{
+				string(r.Algorithm),
+				string(r.Traffic),
+				string(r.Scenario),
+				strconv.Itoa(r.N),
+				strconv.FormatFloat(r.Load, 'f', 4, 64),
+				strconv.FormatFloat(r.Burst, 'f', 2, 64),
+				strconv.Itoa(win.Window),
+				strconv.FormatInt(int64(win.Start), 10),
+				strconv.FormatInt(int64(win.End), 10),
+				strconv.FormatFloat(win.MeanDelay, 'f', 3, 64),
+				strconv.FormatFloat(win.P99Delay, 'f', 1, 64),
+				strconv.FormatInt(win.Offered, 10),
+				strconv.FormatInt(win.Delivered, 10),
+				strconv.FormatFloat(win.Throughput, 'f', 6, 64),
+				strconv.FormatFloat(win.Backlog, 'f', 2, 64),
+				strconv.FormatInt(win.Reordered, 10),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // RenderMarkovTable writes a markov study (Fig. 5) as delay versus switch

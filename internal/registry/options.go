@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -240,6 +241,39 @@ func (s Schema) Normalize(in map[string]any) (Options, error) {
 		}
 	}
 	return out, nil
+}
+
+// ParseOptionValue parses a CLI option value the way the cmd tools'
+// repeatable key=value flags do: number, then bool, then string. The
+// schema rejects type mismatches downstream, so inference only has to be
+// consistent, not clever — and living here keeps every tool's flag
+// behavior identical.
+func ParseOptionValue(s string) any {
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	if b, err := strconv.ParseBool(s); err == nil {
+		return b
+	}
+	return s
+}
+
+// OptionFlag is a flag.Value collecting repeated key=value option
+// assignments — the -sopt/-topt style flags shared by the cmd tools.
+// Initialize with OptionFlag{} and register via flag.Var.
+type OptionFlag map[string]any
+
+// String implements flag.Value.
+func (o OptionFlag) String() string { return fmt.Sprintf("%v", map[string]any(o)) }
+
+// Set implements flag.Value.
+func (o OptionFlag) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	o[k] = ParseOptionValue(v)
+	return nil
 }
 
 // Int returns the named int option. It panics on a missing key or a

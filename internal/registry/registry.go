@@ -274,4 +274,8 @@ func WriteCatalog(w io.Writer) {
 			fmt.Fprintf(w, "      %-32s %s\n", o.describe(), o.Help)
 		}
 	}
+	if len(Scenarios()) > 0 {
+		fmt.Fprintln(w)
+		WriteScenarioCatalog(w)
+	}
 }

@@ -33,6 +33,11 @@ type RunConfig struct {
 	Warmup Slot
 	// Slots is the number of measured slots executed after the warmup.
 	Slots Slot
+	// OnSlot, when non-nil, is invoked once per slot after the switch's
+	// Step completes (warmup slots included), with the slot just executed.
+	// The windowed time-series instruments hook it to close measurement
+	// windows and sample backlog at window boundaries.
+	OnSlot func(t Slot)
 }
 
 // Run drives sw with arrivals from src for cfg.Warmup+cfg.Slots slots.
@@ -75,6 +80,9 @@ func Run(sw Switch, src Source, cfg RunConfig, obs Observer) (offered, delivered
 	for t := Slot(0); t < total; t++ {
 		src.Next(t, arrive)
 		sw.Step(deliver)
+		if cfg.OnSlot != nil {
+			cfg.OnSlot(t)
+		}
 	}
 	return offered, delivered
 }

@@ -182,3 +182,33 @@ func (f fakeSource) N() int { return f.n }
 func (f fakeSource) Next(t Slot, emit func(Packet)) {
 	emit(Packet{In: 0, Out: 0, Arrival: t, Fake: true})
 }
+
+// TestRunOnSlotHook: the per-slot hook fires exactly once per slot, after
+// the slot's deliveries, across warmup and measured slots alike.
+func TestRunOnSlotHook(t *testing.T) {
+	sw := newFakeSwitch(4, 2)
+	var ticks []Slot
+	var deliveredAtTick []int64
+	var delivered int64
+	obs := ObserverFunc(func(Delivery) { delivered++ })
+	Run(sw, scriptSource{4}, RunConfig{
+		Warmup: 5, Slots: 10,
+		OnSlot: func(tt Slot) {
+			ticks = append(ticks, tt)
+			deliveredAtTick = append(deliveredAtTick, delivered)
+		},
+	}, obs)
+	if len(ticks) != 15 {
+		t.Fatalf("OnSlot fired %d times, want 15", len(ticks))
+	}
+	for i, tt := range ticks {
+		if tt != Slot(i) {
+			t.Fatalf("tick %d reported slot %d", i, tt)
+		}
+	}
+	// The first measured packet (arrival 5) departs at slot 7; the hook at
+	// slot 7 must already see it delivered.
+	if deliveredAtTick[7] != 1 {
+		t.Fatalf("hook at slot 7 saw %d deliveries, want 1 (hook must run after Step)", deliveredAtTick[7])
+	}
+}

@@ -1,0 +1,195 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+
+	"sprinklers/internal/registry"
+	"sprinklers/internal/sim"
+)
+
+// collect runs src for slots slots and returns every emitted packet.
+func collect(src sim.Source, slots sim.Slot) []sim.Packet {
+	var out []sim.Packet
+	for t := sim.Slot(0); t < slots; t++ {
+		src.Next(t, func(p sim.Packet) { out = append(out, p) })
+	}
+	return out
+}
+
+// equivalenceMatrices cover both dyadic conditional destination
+// probabilities (uniform: 1/8) and non-dyadic ones (hotspot 0.7, Zipf:
+// probabilities whose 32-bit fixed-point image is inexact), so the
+// trace-identity tests would catch a sampler that only agrees on exactly
+// representable thresholds.
+func equivalenceMatrices() map[string]*Matrix {
+	return map[string]*Matrix{
+		"uniform": Uniform(8, 0.6),
+		"hotspot": Hotspot(8, 0.6, 0.7),
+		"zipf":    Zipf(8, 0.6, 1.2),
+	}
+}
+
+func TestDynamicMatchesBernoulliWithoutEvents(t *testing.T) {
+	for name, m := range equivalenceMatrices() {
+		a := collect(NewBernoulli(m, rand.New(rand.NewSource(7))), 20000)
+		b := collect(NewDynamic(m, nil, 0, rand.New(rand.NewSource(7))), 20000)
+		if len(a) != len(b) {
+			t.Fatalf("%s: trace lengths differ: %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: packet %d differs: %+v vs %+v", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestDynamicMatchesOnOffWithoutEvents(t *testing.T) {
+	for name, m := range equivalenceMatrices() {
+		a := collect(NewOnOff(m, 8, rand.New(rand.NewSource(7))), 20000)
+		b := collect(NewDynamic(m, nil, 8, rand.New(rand.NewSource(7))), 20000)
+		if len(a) != len(b) {
+			t.Fatalf("%s: trace lengths differ: %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: packet %d differs: %+v vs %+v", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestDynamicDeterministic(t *testing.T) {
+	m := Uniform(8, 0.5)
+	events := []registry.Event{
+		{At: 1000, Rates: Diagonal(8, 0.8).Rows()},
+		{At: 2000, Link: &registry.LinkChange{Input: 3, Factor: 0.25}},
+	}
+	a := collect(NewDynamic(m, events, 0, rand.New(rand.NewSource(3))), 4000)
+	b := collect(NewDynamic(m, events, 0, rand.New(rand.NewSource(3))), 4000)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+}
+
+// TestDynamicRateSwapShiftsDestinations: before the event input 0 spreads
+// uniformly; after it all of input 0's load lands on output 0.
+func TestDynamicRateSwapShiftsDestinations(t *testing.T) {
+	n := 8
+	const swap = sim.Slot(20000)
+	concentrated := make([][]float64, n)
+	for i := range concentrated {
+		concentrated[i] = make([]float64, n)
+		concentrated[i][0] = 0.5
+	}
+	src := NewDynamic(Uniform(n, 0.5), []registry.Event{{At: swap, Rates: concentrated}}, 0,
+		rand.New(rand.NewSource(9)))
+	var beforeOther, afterOther, after int
+	for _, p := range collect(src, 2*swap) {
+		if p.Arrival < swap {
+			if p.Out != 0 {
+				beforeOther++
+			}
+		} else {
+			after++
+			if p.Out != 0 {
+				afterOther++
+			}
+		}
+	}
+	if beforeOther == 0 {
+		t.Fatal("uniform phase never used outputs other than 0")
+	}
+	if afterOther != 0 {
+		t.Fatalf("%d of %d post-swap packets ignored the concentrated matrix", afterOther, after)
+	}
+	if after == 0 {
+		t.Fatal("no arrivals after the swap")
+	}
+}
+
+// TestDynamicSeqPersistAcrossSwap: per-flow sequence numbers must continue
+// across a rate swap — each flow's Seq sequence is 0, 1, 2, ... with no
+// reset at the boundary.
+func TestDynamicSeqPersistAcrossSwap(t *testing.T) {
+	n := 4
+	src := NewDynamic(Uniform(n, 0.9), []registry.Event{
+		{At: 2500, Rates: Diagonal(n, 0.9).Rows()},
+		{At: 5000, Rates: Uniform(n, 0.9).Rows()},
+	}, 0, rand.New(rand.NewSource(11)))
+	next := map[[2]int32]uint64{}
+	for _, p := range collect(src, 10000) {
+		k := [2]int32{p.In, p.Out}
+		if p.Seq != next[k] {
+			t.Fatalf("flow (%d,%d): seq %d, want %d — counter reset across an event", p.In, p.Out, p.Seq, next[k])
+		}
+		next[k]++
+	}
+}
+
+func TestDynamicLinkFailureAndRecovery(t *testing.T) {
+	n := 4
+	events := []registry.Event{
+		{At: 1000, Link: &registry.LinkChange{Input: 2, Factor: 0}},
+		{At: 2000, Link: &registry.LinkChange{Input: 2, Factor: 1}},
+	}
+	src := NewDynamic(Uniform(n, 0.8), events, 0, rand.New(rand.NewSource(5)))
+	counts := [3]int{} // arrivals at input 2 per phase
+	for _, p := range collect(src, 3000) {
+		if p.In != 2 {
+			continue
+		}
+		counts[int(p.Arrival)/1000]++
+	}
+	if counts[0] == 0 {
+		t.Fatal("input 2 silent before the failure")
+	}
+	if counts[1] != 0 {
+		t.Fatalf("input 2 emitted %d packets during a hard link failure", counts[1])
+	}
+	if counts[2] == 0 {
+		t.Fatal("input 2 did not recover")
+	}
+	if got := src.LinkFactor(2); got != 1 {
+		t.Fatalf("LinkFactor(2) = %v after recovery", got)
+	}
+}
+
+// TestDynamicDegradedLinkRate: a factor-0.5 link should carry roughly half
+// the load, in both Bernoulli and bursty modes.
+func TestDynamicDegradedLinkRate(t *testing.T) {
+	n := 4
+	const slots = 200000
+	for _, burst := range []float64{0, 8} {
+		events := []registry.Event{{At: 0, Link: &registry.LinkChange{Input: 0, Factor: 0.5}}}
+		src := NewDynamic(Uniform(n, 0.8), events, burst, rand.New(rand.NewSource(13)))
+		var full, degraded int
+		for _, p := range collect(src, slots) {
+			switch p.In {
+			case 0:
+				degraded++
+			case 1:
+				full++
+			}
+		}
+		ratio := float64(degraded) / float64(full)
+		if ratio < 0.4 || ratio > 0.6 {
+			t.Errorf("burst=%v: degraded/full arrival ratio %.3f, want ~0.5", burst, ratio)
+		}
+	}
+}
+
+func TestDynamicRejectsBadBurst(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mean burst 0.5 accepted")
+		}
+	}()
+	NewDynamic(Uniform(4, 0.5), nil, 0.5, rand.New(rand.NewSource(1)))
+}
