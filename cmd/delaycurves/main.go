@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -84,7 +85,7 @@ func main() {
 		fatal(err)
 	}
 
-	results, err := experiment.RunStudy(spec, experiment.StudyConfig{ResultsPath: *out})
+	results, err := experiment.RunStudy(context.Background(), spec, experiment.StudyConfig{ResultsPath: *out})
 	if err != nil {
 		fatal(err)
 	}

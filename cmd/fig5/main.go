@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -54,7 +55,7 @@ func main() {
 	if err := spec.Validate(); err != nil {
 		fatal(err)
 	}
-	results, err := experiment.RunStudy(spec, experiment.StudyConfig{})
+	results, err := experiment.RunStudy(context.Background(), spec, experiment.StudyConfig{})
 	if err != nil {
 		fatal(err)
 	}

@@ -11,10 +11,11 @@
 //	scenario -scenario flashcrowd [-alg sprinklers]... [-traffic uniform]
 //	         [-n 8] [-load 0.8] [-slots 20000] [-windows 20] [-replicas 3]
 //	         [-sopt k=v]... [-topt k=v]... [-burst 0] [-seed 1]
-//	         [-out traj.jsonl] [-csv]
+//	         [-timeout 1m] [-out traj.jsonl] [-csv]
 //	scenario -list
 //
-// -alg is repeatable and accepts per-series options after a colon, e.g.
+// -alg is repeatable and accepts the shared series syntax (registered name,
+// optionally ":key=value,key=value"), e.g.
 //
 //	-alg sprinklers -alg "sprinklers:adaptive=true,adaptive-window=1024"
 //
@@ -22,14 +23,18 @@
 // events. With no -alg the tool runs exactly that comparison. -sopt and
 // -topt set scenario and workload options (repeatable key=value). The tool
 // is a thin wrapper over the declarative study engine, so -out checkpoints
-// and resumes exactly like cmd/sweep.
+// and resumes exactly like cmd/sweep, and Ctrl-C (or -timeout) stops it
+// cleanly with the recorded prefix rendered and exit status 2.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"sprinklers/internal/experiment"
 	"sprinklers/internal/registry"
@@ -47,10 +52,12 @@ func (l *listFlag) Set(v string) error {
 }
 
 func main() {
-	var algs, sopts, topts listFlag
+	var algs listFlag
 	flag.Var(&algs, "alg", "architecture series, repeatable: name or name:key=value,key=value")
-	flag.Var(&sopts, "sopt", "scenario option, repeatable key=value")
-	flag.Var(&topts, "topt", "workload option, repeatable key=value")
+	sopts := registry.OptionFlag{}
+	flag.Var(sopts, "sopt", "scenario option, repeatable key=value")
+	topts := registry.OptionFlag{}
+	flag.Var(topts, "topt", "workload option, repeatable key=value")
 	scenarioName := flag.String("scenario", "", "registered scenario to replay: "+strings.Join(registry.ScenarioNames(), ", "))
 	trafficKind := flag.String("traffic", "uniform", "base workload the scenario perturbs")
 	n := flag.Int("n", 8, "switch size (power of two)")
@@ -61,6 +68,7 @@ func main() {
 	replicas := flag.Int("replicas", 3, "independently-seeded replicas, aggregated per window")
 	burst := flag.Float64("burst", 0, "mean on/off burst length; 0 = Bernoulli arrivals")
 	seed := flag.Int64("seed", 1, "study base seed")
+	timeout := flag.Duration("timeout", 0, "cancel the replay after this duration (0 = no limit)")
 	out := flag.String("out", "", "JSONL checkpoint file; resumed if it exists")
 	csvOut := flag.Bool("csv", false, "emit the trajectory as CSV instead of text tables")
 	quiet := flag.Bool("quiet", false, "suppress live progress on stderr")
@@ -84,21 +92,12 @@ func main() {
 			{Name: experiment.Sprinklers},
 			experiment.AdaptiveSprinklers(),
 		}
-	}
-	for _, entry := range algs {
-		a, err := parseAlgEntry(entry)
+	} else {
+		parsed, err := experiment.ParseAlgorithmSeries(algs)
 		if err != nil {
 			fatal(err)
 		}
-		algSpecs = append(algSpecs, a)
-	}
-	sOpts, err := parseOpts(sopts)
-	if err != nil {
-		fatal(err)
-	}
-	tOpts, err := parseOpts(topts)
-	if err != nil {
-		fatal(err)
+		algSpecs = parsed
 	}
 
 	spec := experiment.Spec{
@@ -106,10 +105,10 @@ func main() {
 		Kind:       experiment.SimStudy,
 		Algorithms: algSpecs,
 		Traffic: []experiment.TrafficSpec{{
-			Name: experiment.TrafficKind(*trafficKind), Options: tOpts,
+			Name: experiment.TrafficKind(*trafficKind), Options: registry.Options(topts),
 		}},
 		Scenarios: []experiment.ScenarioSpec{{
-			Name: experiment.ScenarioKind(*scenarioName), Options: sOpts,
+			Name: experiment.ScenarioKind(*scenarioName), Options: registry.Options(sopts),
 		}},
 		Loads:    []float64{*load},
 		Sizes:    []int{*n},
@@ -125,62 +124,44 @@ func main() {
 		fatal(err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	cfg := experiment.StudyConfig{ResultsPath: *out}
 	if !*quiet {
 		cfg.Progress = func(done, total int, r experiment.PointResult) {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s  mean-delay %.1f\n", done, total, r.PointKey, r.MeanDelay)
 		}
 	}
-	results, err := experiment.RunStudy(spec, cfg)
-	if err != nil {
+	results, err := experiment.RunStudy(ctx, spec, cfg)
+	canceled := experiment.IsCancellation(err)
+	if err != nil && !canceled {
 		fatal(err)
+	}
+	if canceled {
+		fmt.Fprintf(os.Stderr, "scenario: %s\n",
+			experiment.CancelMessage(len(results), spec.NumPoints(), *out, false))
 	}
 
 	if *csvOut {
 		if err := experiment.RenderTrajectoryCSV(os.Stdout, results); err != nil {
 			fatal(err)
 		}
-		return
+	} else {
+		fmt.Printf("scenario %s: recovery trajectory, %d replicas/point, %d measured slots, %d windows\n\n",
+			*scenarioName, spec.Replicas, spec.Slots, spec.Windows)
+		experiment.RenderTrajectory(os.Stdout, results)
+		fmt.Println()
+		experiment.RenderStudyDetail(os.Stdout, results)
 	}
-	fmt.Printf("scenario %s: recovery trajectory, %d replicas/point, %d measured slots, %d windows\n\n",
-		*scenarioName, spec.Replicas, spec.Slots, spec.Windows)
-	experiment.RenderTrajectory(os.Stdout, results)
-	fmt.Println()
-	experiment.RenderStudyDetail(os.Stdout, results)
-}
-
-// parseAlgEntry parses "name" or "name:key=value,key=value" into a spec
-// entry; optioned entries keep the full text as their series label so two
-// variants of one architecture stay distinct.
-func parseAlgEntry(entry string) (experiment.AlgorithmSpec, error) {
-	name, rest, found := strings.Cut(entry, ":")
-	a := experiment.AlgorithmSpec{Name: experiment.Algorithm(strings.TrimSpace(name))}
-	if !found {
-		return a, nil
+	if canceled {
+		os.Exit(2)
 	}
-	opts, err := parseOpts(strings.Split(rest, ","))
-	if err != nil {
-		return a, fmt.Errorf("alg entry %q: %v", entry, err)
-	}
-	a.Options = opts
-	a.As = entry
-	return a, nil
-}
-
-// parseOpts folds key=value pairs through the shared registry option
-// parser, so value inference matches the -sopt/-topt flags of every other
-// cmd tool.
-func parseOpts(pairs []string) (registry.Options, error) {
-	if len(pairs) == 0 {
-		return nil, nil
-	}
-	out := registry.OptionFlag{}
-	for _, p := range pairs {
-		if err := out.Set(strings.TrimSpace(p)); err != nil {
-			return nil, err
-		}
-	}
-	return registry.Options(out), nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,85 @@
+// Command sprinklerd is the study-serving daemon: a long-running HTTP
+// service that accepts declarative study specs (the same JSON cmd/sweep
+// runs), executes them on a worker pool backed by a content-addressed
+// result cache, streams per-point progress, and serves aggregated results
+// and renderings. A point is simulated at most once per cache lifetime:
+// overlapping studies share points, and resubmitting a computed spec is a
+// pure cache read with zero simulation slots executed.
+//
+// Usage:
+//
+//	sprinklerd [-listen 127.0.0.1:8356] [-cache sprinklerd-cache] [-par N]
+//	           [-grace 30s]
+//
+// Endpoints (see README for the full API):
+//
+//	POST /api/v1/studies            submit a spec
+//	GET  /api/v1/studies/{id}       status; /events streams progress (SSE);
+//	     /results and /render serve the output; /cancel stops it
+//	GET  /api/v1/catalog            registered architectures/workloads/
+//	     scenarios with their option schemas
+//	GET  /healthz, GET /metrics     liveness and Prometheus-style counters
+//
+// On SIGINT/SIGTERM the daemon drains: running studies are canceled, each
+// flushes its JSONL checkpoint (resumable by resubmitting the same spec),
+// and the process exits once everything has stopped or -grace expires.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sprinklers/internal/service"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8356", "HTTP listen address")
+	cacheDir := flag.String("cache", "sprinklerd-cache", "content-addressed result cache directory (also holds per-study checkpoints)")
+	par := flag.Int("par", 0, "per-study worker parallelism (default GOMAXPROCS)")
+	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for draining studies")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "sprinklerd: ", log.LstdFlags)
+	srv, err := service.New(service.Options{
+		CacheDir:    *cacheDir,
+		Parallelism: *par,
+		Logf:        logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	httpServer := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on http://%s (cache %s)", *listen, *cacheDir)
+		errCh <- httpServer.ListenAndServe()
+	}()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		logger.Fatal(err)
+	case <-sigCtx.Done():
+	}
+
+	logger.Printf("shutting down: draining studies (grace %s)", *grace)
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	drainErr := srv.Shutdown(ctx)
+	if err := httpServer.Shutdown(ctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil {
+		logger.Printf("shutdown: %v", drainErr)
+		os.Exit(1)
+	}
+	logger.Printf("shutdown complete; checkpoints flushed")
+}

@@ -21,12 +21,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"sprinklers/internal/core"
 	"sprinklers/internal/experiment"
@@ -55,8 +59,20 @@ func main() {
 	aopts := registry.OptionFlag{}
 	flag.Var(aopts, "aopt", "architecture option, repeatable key=value (e.g. adaptive=true); see -list for schemas")
 	windows := flag.Int("windows", 10, "time-series windows for -scenario runs")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
 	list := flag.Bool("list", false, "list registered architectures, workloads and scenarios with their options, then exit")
 	flag.Parse()
+
+	// Ctrl-C and -timeout share one context; a canceled plain run still
+	// prints the statistics gathered so far (marked partial), a canceled
+	// scenario replay stops with exit status 2.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *list {
 		registry.WriteCatalog(os.Stdout)
@@ -95,7 +111,7 @@ func main() {
 	}
 
 	if *scenarioName != "" {
-		runScenario(string(algorithm), aopts, *trafficKind, *scenarioName, sopts,
+		runScenario(ctx, string(algorithm), aopts, *trafficKind, *scenarioName, sopts,
 			*n, *load, *burst, *slots, *warmup, *windows, *seed)
 		return
 	}
@@ -122,9 +138,15 @@ func main() {
 	if w == 0 {
 		w = sim.Slot(*slots) / 5
 	}
+	var executed sim.Slot
 	offered, delivered := sim.Run(sw, src,
-		sim.RunConfig{Warmup: w, Slots: sim.Slot(*slots)},
+		sim.RunConfig{
+			Warmup: w, Slots: sim.Slot(*slots),
+			OnSlot: func(t sim.Slot) { executed = t + 1 },
+			Cancel: ctx.Done(),
+		},
 		stats.Multi{delay, reorder})
+	partial := ctx.Err() != nil
 
 	fmt.Printf("architecture : %s\n", algorithm)
 	fmt.Printf("traffic      : %s, N=%d, load=%.3f", *trafficKind, *n, *load)
@@ -132,7 +154,12 @@ func main() {
 		fmt.Printf(", bursty (mean burst %.0f)", *burst)
 	}
 	fmt.Println()
-	fmt.Printf("horizon      : %d measured slots (+%d warmup)\n", *slots, w)
+	if partial {
+		fmt.Printf("horizon      : PARTIAL — canceled after %d of %d slots; statistics cover the executed prefix\n",
+			executed, sim.Slot(*slots)+w)
+	} else {
+		fmt.Printf("horizon      : %d measured slots (+%d warmup)\n", *slots, w)
+	}
 	fmt.Printf("offered      : %d packets\n", offered)
 	fmt.Printf("delivered    : %d packets (throughput %.4f)\n", delivered,
 		float64(delivered)/float64(max64(offered, 1)))
@@ -149,11 +176,14 @@ func main() {
 			fmt.Printf("resizes      : %d stripe-size changes\n", cs.Resizes())
 		}
 	}
+	if partial {
+		os.Exit(2)
+	}
 }
 
 // runScenario replays a dynamic scenario over a single seeded run and
 // prints the per-window recovery trajectory with the usual aggregates.
-func runScenario(alg string, aopts map[string]any, trafficKind, scenarioName string, sopts map[string]any,
+func runScenario(ctx context.Context, alg string, aopts map[string]any, trafficKind, scenarioName string, sopts map[string]any,
 	n int, load, burst float64, slots, warmup int64, windows int, seed int64) {
 	res, err := scenario.Run(scenario.Config{
 		Algorithm:       alg,
@@ -168,7 +198,12 @@ func runScenario(alg string, aopts map[string]any, trafficKind, scenarioName str
 		Warmup:          sim.Slot(warmup),
 		Windows:         windows,
 		Seed:            seed,
+		Cancel:          ctx.Done(),
 	})
+	if errors.Is(err, scenario.ErrCanceled) {
+		fmt.Fprintln(os.Stderr, "sprinklersim: scenario replay canceled before completion")
+		os.Exit(2)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -8,6 +8,13 @@
 // already recorded, so an interrupted sweep resumes where it stopped and
 // ends byte-identical to an uninterrupted run.
 //
+// With -remote, the spec is submitted to a sprinklerd daemon instead of
+// running locally: the daemon executes it against its content-addressed
+// result cache (an already-computed spec costs zero simulation slots),
+// progress streams back live, and the returned results are rendered by the
+// exact same code as local mode — remote and local output are
+// byte-identical for the same spec.
+//
 // Usage:
 //
 //	sweep -spec study.json [-out results.jsonl] [-csv|-trajcsv|-detail] [-quiet]
@@ -15,31 +22,37 @@
 //	sweep -algs sprinklers,foff -traffic uniform -ns 32 \
 //	      -loads 0.5,0.9 -replicas 3 -slots 200000 [-out ...]
 //	sweep -algs sprinklers -traffic uniform -scenarios flashcrowd -windows 12 ...
+//	sweep -remote http://127.0.0.1:8356 -builtin smoke
 //	sweep -list
 //
-// Algorithm and traffic names resolve through the shared registry (-list
-// enumerates them). In a spec file an entry may carry typed options, e.g.
-// {"algorithm": "pf", "options": {"threshold": 64}} or {"traffic":
-// "hotspot", "options": {"fraction": 0.75}}; an "as" label keeps two
-// option variants of one architecture distinct within a single study. A
-// "scenarios" spec field (or the -scenarios flag) replays registered
-// dynamic scenarios — flash crowds, rate drift, link failures — over every
-// grid point and records per-window trajectory rows alongside the point
-// aggregates (-trajcsv emits them as CSV).
+// Algorithm, traffic and scenario names resolve through the shared
+// registry (-list enumerates them), and every series flag accepts the
+// shared series syntax "name" or "name:key=value,..." (e.g. -algs
+// "pf:threshold=64,sprinklers"). In a spec file an entry may carry typed
+// options with an "as" label keeping two option variants distinct.
 //
-// Exit status: 0 on success, 1 on error, 3 when -halt-after stopped the run
-// at the checkpoint limit (used by the CI resume test to simulate a kill).
+// Ctrl-C (or -timeout expiry) stops the study cleanly: everything recorded
+// so far is already flushed to the -out checkpoint, the partial results are
+// rendered, and the exit status is 2 — resume by re-running the same spec
+// with the same -out.
+//
+// Exit status: 0 on success, 1 on error, 2 when canceled by Ctrl-C or
+// -timeout, 3 when -halt-after stopped the run at the checkpoint limit
+// (used by the CI resume test to simulate a kill).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"os/signal"
+	"syscall"
 
 	"sprinklers/internal/experiment"
 	"sprinklers/internal/registry"
-	"sprinklers/internal/sim"
+	"sprinklers/internal/service"
 )
 
 func main() {
@@ -47,12 +60,12 @@ func main() {
 	builtin := flag.String("builtin", "", "built-in study: fig6, fig7, fig5, table1, smoke, flashcrowd")
 	name := flag.String("name", "", "study name (flag-built specs)")
 	kind := flag.String("kind", "sim", "study kind: sim, markov, bound (flag-built specs)")
-	algsFlag := flag.String("algs", "", "comma-separated algorithms, or \"all\" (flag-built specs)")
-	trafficFlag := flag.String("traffic", "uniform", "comma-separated traffic kinds (flag-built specs)")
+	algsFlag := flag.String("algs", "", experiment.FormatSeriesHelp("algorithm")+`, or "all"/"paper" (flag-built specs)`)
+	trafficFlag := flag.String("traffic", "uniform", experiment.FormatSeriesHelp("traffic")+" (flag-built specs)")
 	nsFlag := flag.String("ns", "32", "comma-separated switch sizes (flag-built specs)")
 	loadsFlag := flag.String("loads", "", "comma-separated loads (default: the paper's grid)")
 	burstsFlag := flag.String("bursts", "", "comma-separated mean burst lengths; 0 = Bernoulli (overrides spec when set)")
-	scenariosFlag := flag.String("scenarios", "", "comma-separated dynamic scenarios (overrides spec when set)")
+	scenariosFlag := flag.String("scenarios", "", experiment.FormatSeriesHelp("scenario")+" (overrides spec when set)")
 	windows := flag.Int("windows", 0, "time-series windows per point (overrides spec when set; scenarios default to 10)")
 	replicas := flag.Int("replicas", 0, "independently-seeded runs per point (overrides spec when set)")
 	slots := flag.Int64("slots", 0, "measured slots per replica (overrides spec when set)")
@@ -60,6 +73,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "study base seed (overrides spec when set)")
 	out := flag.String("out", "", "JSONL checkpoint file; appended as points finish, resumed if it exists")
 	par := flag.Int("par", 0, "worker parallelism (default GOMAXPROCS)")
+	remote := flag.String("remote", "", "sprinklerd base URL; submit the spec there instead of running locally")
+	timeout := flag.Duration("timeout", 0, "cancel the study after this duration (0 = no limit)")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of the text tables")
 	trajCSV := flag.Bool("trajcsv", false, "emit per-window trajectory CSV instead of the text tables")
 	detail := flag.Bool("detail", false, "print per-point detail after the tables")
@@ -75,12 +90,12 @@ func main() {
 		return
 	}
 
-	spec, err := buildSpec(specArgs{
-		specPath: *specPath, builtin: *builtin, name: *name, kind: *kind,
-		algs: *algsFlag, traffic: *trafficFlag, ns: *nsFlag, loads: *loadsFlag,
-		bursts: *burstsFlag, scenarios: *scenariosFlag, windows: *windows,
-		replicas: *replicas, slots: *slots,
-		warmup: *warmup, seed: *seed,
+	spec, err := experiment.BuildSpec(experiment.SpecArgs{
+		SpecPath: *specPath, Builtin: *builtin, Name: *name, Kind: *kind,
+		Algs: *algsFlag, Traffic: *trafficFlag, NS: *nsFlag, Loads: *loadsFlag,
+		Bursts: *burstsFlag, Scenarios: *scenariosFlag, Windows: *windows,
+		Replicas: *replicas, Slots: *slots,
+		Warmup: *warmup, Seed: *seed,
 	})
 	if err != nil {
 		fatal(err)
@@ -96,31 +111,52 @@ func main() {
 		return
 	}
 
-	cfg := experiment.StudyConfig{
-		Parallelism:     *par,
-		ResultsPath:     *out,
-		HaltAfterPoints: *haltAfter,
-	}
-	if !*quiet {
-		cfg.Progress = func(done, total int, r experiment.PointResult) {
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s  mean-delay %.1f", done, total, r.PointKey, r.MeanDelay)
-			if r.Replicas > 1 {
-				fmt.Fprintf(os.Stderr, "±%.1f (%d replicas)", r.DelayCI95, r.Replicas)
-			}
-			if r.QueueOverload != "" {
-				fmt.Fprintf(os.Stderr, "  overload %s", r.QueueOverload)
-			}
-			fmt.Fprintln(os.Stderr)
-		}
+	// Ctrl-C and -timeout share one context; both end the run cleanly with
+	// the checkpoint flushed and the recorded prefix rendered.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
-	results, err := experiment.RunStudy(spec, cfg)
-	if err == experiment.ErrHalted {
+	var results []experiment.PointResult
+	var runErr error
+	if *remote != "" {
+		if *out != "" || *haltAfter > 0 {
+			fatal(errors.New("-remote runs checkpoint on the daemon; -out and -halt-after are local-only flags"))
+		}
+		client := &service.Client{BaseURL: *remote}
+		var progress func(service.ProgressEvent)
+		if !*quiet {
+			progress = func(ev service.ProgressEvent) {
+				printProgress(ev.Done, ev.Total, ev.Point)
+			}
+		}
+		results, runErr = client.Run(ctx, spec, progress)
+	} else {
+		cfg := experiment.StudyConfig{
+			Parallelism:     *par,
+			ResultsPath:     *out,
+			HaltAfterPoints: *haltAfter,
+		}
+		if !*quiet {
+			cfg.Progress = printProgress
+		}
+		results, runErr = experiment.RunStudy(ctx, spec, cfg)
+	}
+	canceled := experiment.IsCancellation(runErr)
+	switch {
+	case runErr == nil:
+	case errors.Is(runErr, experiment.ErrHalted):
 		fmt.Fprintf(os.Stderr, "sweep: halted after %d new points; resume with the same -spec and -out\n", *haltAfter)
 		os.Exit(3)
-	}
-	if err != nil {
-		fatal(err)
+	case canceled:
+		fmt.Fprintf(os.Stderr, "sweep: %s\n",
+			experiment.CancelMessage(len(results), spec.NumPoints(), *out, *remote != ""))
+	default:
+		fatal(runErr)
 	}
 
 	switch {
@@ -155,102 +191,21 @@ func main() {
 			experiment.RenderStudyDetail(os.Stdout, results)
 		}
 	}
+	if canceled {
+		os.Exit(2)
+	}
 }
 
-type specArgs struct {
-	specPath, builtin, name, kind    string
-	algs, traffic, ns, loads, bursts string
-	scenarios                        string
-	windows                          int
-	replicas                         int
-	slots, warmup, seed              int64
-}
-
-// buildSpec resolves the study: an explicit -spec file wins, then -builtin,
-// then a spec assembled from the grid flags. -loads/-bursts/-replicas/
-// -slots/-warmup/-seed override whatever the spec or builtin carries, so
-// "fig6 with error bars" is just `sweep -builtin fig6 -replicas 5`.
-func buildSpec(a specArgs) (experiment.Spec, error) {
-	var spec experiment.Spec
-	switch {
-	case a.specPath != "":
-		s, err := experiment.LoadSpec(a.specPath)
-		if err != nil {
-			return spec, err
-		}
-		spec = s
-	case a.builtin != "":
-		s, err := experiment.BuiltinSpec(a.builtin)
-		if err != nil {
-			return spec, err
-		}
-		spec = s
-	default:
-		spec = experiment.Spec{
-			Name: a.name,
-			Kind: experiment.SpecKind(a.kind),
-		}
-		if spec.Kind == experiment.SimStudy {
-			switch a.algs {
-			case "", "paper":
-				spec.Algorithms = experiment.Algs(experiment.Fig6Algorithms...)
-			case "all":
-				spec.Algorithms = experiment.Algs(experiment.AllAlgorithms()...)
-			default:
-				for _, s := range strings.Split(a.algs, ",") {
-					spec.Algorithms = append(spec.Algorithms,
-						experiment.AlgorithmSpec{Name: experiment.Algorithm(strings.TrimSpace(s))})
-				}
-			}
-			for _, s := range strings.Split(a.traffic, ",") {
-				spec.Traffic = append(spec.Traffic,
-					experiment.TrafficSpec{Name: experiment.TrafficKind(strings.TrimSpace(s))})
-			}
-		}
-		ns, err := experiment.ParseIntList(a.ns)
-		if err != nil {
-			return spec, err
-		}
-		spec.Sizes = ns
-		spec.Loads = experiment.PaperLoads
+// printProgress is the shared live progress line (local and remote runs).
+func printProgress(done, total int, r experiment.PointResult) {
+	fmt.Fprintf(os.Stderr, "[%d/%d] %s  mean-delay %.1f", done, total, r.PointKey, r.MeanDelay)
+	if r.Replicas > 1 {
+		fmt.Fprintf(os.Stderr, "±%.1f (%d replicas)", r.DelayCI95, r.Replicas)
 	}
-	if a.bursts != "" {
-		bs, err := experiment.ParseFloatList(a.bursts)
-		if err != nil {
-			return spec, err
-		}
-		spec.Bursts = bs
+	if r.QueueOverload != "" {
+		fmt.Fprintf(os.Stderr, "  overload %s", r.QueueOverload)
 	}
-	if a.scenarios != "" {
-		spec.Scenarios = nil
-		for _, s := range strings.Split(a.scenarios, ",") {
-			spec.Scenarios = append(spec.Scenarios,
-				experiment.ScenarioSpec{Name: experiment.ScenarioKind(strings.TrimSpace(s))})
-		}
-	}
-	if a.windows > 0 {
-		spec.Windows = a.windows
-	}
-	if a.loads != "" {
-		ls, err := experiment.ParseFloatList(a.loads)
-		if err != nil {
-			return spec, err
-		}
-		spec.Loads = ls
-	}
-	if a.replicas > 0 {
-		spec.Replicas = a.replicas
-	}
-	if a.slots > 0 {
-		spec.Slots = sim.Slot(a.slots)
-	}
-	if a.warmup > 0 {
-		spec.Warmup = sim.Slot(a.warmup)
-	}
-	if a.seed != 0 {
-		spec.Seed = a.seed
-	}
-	return spec, nil
+	fmt.Fprintln(os.Stderr)
 }
 
 func writeSpec(w *os.File, spec experiment.Spec) error {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -92,7 +93,7 @@ func main() {
 		Seed:     1,
 	}
 
-	results, err := experiment.RunStudy(spec, experiment.StudyConfig{})
+	results, err := experiment.RunStudy(context.Background(), spec, experiment.StudyConfig{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -38,7 +39,7 @@ func main() {
 		Seed:     1,
 	}
 
-	results, err := experiment.RunStudy(spec, experiment.StudyConfig{})
+	results, err := experiment.RunStudy(context.Background(), spec, experiment.StudyConfig{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

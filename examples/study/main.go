@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -26,7 +27,7 @@ func main() {
 		Seed:       1,
 	}
 
-	results, err := experiment.RunStudy(spec, experiment.StudyConfig{
+	results, err := experiment.RunStudy(context.Background(), spec, experiment.StudyConfig{
 		Progress: func(done, total int, r experiment.PointResult) {
 			fmt.Fprintf(os.Stderr, "  %d/%d %s\n", done, total, r.PointKey)
 		},

@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"encoding/json"
+	"reflect"
+	"sync/atomic"
+
+	"sprinklers/internal/resultcache"
+)
+
+// PointCache is the result-cache interface RunStudy consults before
+// simulating a point and populates after aggregating one. Keys are content
+// addresses (resultcache.Identity.Key); values are opaque to the runner.
+// *resultcache.Store satisfies it. Implementations must be safe for
+// concurrent use: a daemon runs many studies against one cache.
+type PointCache interface {
+	Get(key string) ([]byte, bool, error)
+	Put(key string, val []byte) error
+}
+
+// Counters accumulates the work and cache metrics of every study run
+// against it. All fields are atomic so one Counters can be shared by
+// concurrent studies and scraped while they run; the daemon exposes a
+// process-lifetime Counters at /metrics. The cache-hit/zero-slot acceptance
+// check — "a resubmitted spec executes no simulation slots" — reads exactly
+// these counters.
+type Counters struct {
+	// CacheHits and CacheMisses count per-point cache lookups (only made
+	// when a study runs with a cache configured).
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	// PointsComputed counts grid points actually computed (not served from
+	// cache or checkpoint); ReplicasComputed counts the replica simulations
+	// behind them.
+	PointsComputed   atomic.Int64
+	ReplicasComputed atomic.Int64
+	// SlotsSimulated counts the configured horizon (slots + warmup) of
+	// every COMPLETED replica simulation. Replicas aborted mid-run by a
+	// cancellation are not charged — the engine does not report how far an
+	// aborted slot loop got — so under frequent cancellation this slightly
+	// under-counts executed work. The property the acceptance check leans
+	// on is exact in both directions: zero means zero slots ran.
+	SlotsSimulated atomic.Int64
+	// StudiesRun counts RunStudy invocations.
+	StudiesRun atomic.Int64
+}
+
+// CounterSnapshot is a plain-value copy of a Counters, for JSON responses
+// and metric rendering.
+type CounterSnapshot struct {
+	CacheHits        int64 `json:"cache_hits"`
+	CacheMisses      int64 `json:"cache_misses"`
+	PointsComputed   int64 `json:"points_computed"`
+	ReplicasComputed int64 `json:"replicas_computed"`
+	SlotsSimulated   int64 `json:"slots_simulated"`
+	StudiesRun       int64 `json:"studies_run"`
+}
+
+// Snapshot returns a consistent-enough copy of the counters (each field is
+// read atomically; the set is not a transaction, which metrics don't need).
+func (c *Counters) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		CacheHits:        c.CacheHits.Load(),
+		CacheMisses:      c.CacheMisses.Load(),
+		PointsComputed:   c.PointsComputed.Load(),
+		ReplicasComputed: c.ReplicasComputed.Load(),
+		SlotsSimulated:   c.SlotsSimulated.Load(),
+		StudiesRun:       c.StudiesRun.Load(),
+	}
+}
+
+// PointIdentity returns the canonical content identity of one grid point of
+// the spec: everything that determines the point's PointResult — the
+// resolved architecture/workload/scenario entries with their normalized
+// options, the operating point, the measurement horizon, and the seed
+// derivation inputs. Call it on a WithDefaults-normalized spec; labels
+// ("as") are deliberately absent, so two studies sweeping the same physical
+// configuration under different series names share cache entries.
+func (s Spec) PointIdentity(key PointKey) resultcache.Identity {
+	id := resultcache.Identity{
+		Version:  resultcache.SchemaVersion,
+		Kind:     string(s.Kind),
+		N:        key.N,
+		Load:     key.Load,
+		Burst:    key.Burst,
+		Slots:    int64(s.Slots),
+		Warmup:   int64(s.Warmup),
+		Windows:  s.Windows,
+		Replicas: s.Replicas,
+		Seed:     s.Seed,
+	}
+	if s.Kind != SimStudy {
+		return id
+	}
+	alg := s.algEntry(key.Algorithm)
+	id.Algorithm = string(alg.Name)
+	id.AlgOptions = alg.Options
+	tk := s.trafficEntry(key.Traffic)
+	id.Traffic = string(tk.Name)
+	id.TrafficOptions = tk.Options
+	if key.Scenario != "" {
+		sc := s.scenarioEntry(key.Scenario)
+		id.Scenario = string(sc.Name)
+		id.ScenarioOptions = sc.Options
+	}
+	return id
+}
+
+// cachedPoint is the envelope stored in the result cache: the identity is
+// echoed next to the result so a corrupted or hash-colliding entry is
+// detected on read instead of silently serving a wrong point.
+type cachedPoint struct {
+	Identity resultcache.Identity `json:"identity"`
+	Result   PointResult          `json:"result"`
+}
+
+// encodeCachedPoint marshals the envelope. PointResult always marshals.
+func encodeCachedPoint(id resultcache.Identity, rec PointResult) []byte {
+	b, err := json.Marshal(cachedPoint{Identity: id, Result: rec})
+	if err != nil {
+		panic("experiment: cached point not marshalable: " + err.Error())
+	}
+	return b
+}
+
+// decodeCachedPoint validates a cache entry against the identity it was
+// addressed by and returns the stored result re-labeled with the caller's
+// point key (series labels are presentation, not identity, so a hit from a
+// differently-labeled study adopts the requesting study's labels). A
+// mismatched or unparsable entry reports ok == false and is treated as a
+// miss.
+func decodeCachedPoint(b []byte, id resultcache.Identity, key PointKey) (PointResult, bool) {
+	var env cachedPoint
+	if err := json.Unmarshal(b, &env); err != nil {
+		return PointResult{}, false
+	}
+	if !reflect.DeepEqual(env.Identity, id) {
+		return PointResult{}, false
+	}
+	rec := env.Result
+	rec.PointKey = key
+	return rec, true
+}

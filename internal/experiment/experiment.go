@@ -10,6 +10,8 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -193,6 +195,27 @@ type Config struct {
 	Windows int
 	// Parallelism bounds concurrent points; 0 means GOMAXPROCS.
 	Parallelism int
+	// Cancel, when non-nil, aborts an in-flight point early (typically a
+	// context's Done channel). RunPoint then returns context.Canceled
+	// instead of a partial measurement. RunStudy wires its context's Done
+	// channel here, which is what makes a long replica — minutes at large
+	// N — stop within milliseconds of a cancellation instead of running to
+	// its horizon.
+	Cancel <-chan struct{}
+}
+
+// canceled reports whether a receive from ch (typically a context's Done
+// channel) succeeds without blocking.
+func canceled(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -235,8 +258,11 @@ func RunPoint(alg Algorithm, cfg Config, load float64) (Point, error) {
 	delay := &stats.Delay{}
 	reorder := stats.NewReorder(cfg.N)
 	offered, delivered := sim.Run(sw, src,
-		sim.RunConfig{Warmup: cfg.Warmup, Slots: cfg.Slots},
+		sim.RunConfig{Warmup: cfg.Warmup, Slots: cfg.Slots, Cancel: cfg.Cancel},
 		stats.Multi{delay, reorder})
+	if canceled(cfg.Cancel) {
+		return Point{}, context.Canceled
+	}
 	p := Point{
 		Algorithm: alg,
 		Traffic:   cfg.Traffic,
@@ -271,7 +297,11 @@ func runScenarioPoint(alg Algorithm, cfg Config, load float64) (Point, error) {
 		Warmup:          cfg.Warmup,
 		Windows:         cfg.Windows,
 		Seed:            cfg.Seed,
+		Cancel:          cfg.Cancel,
 	})
+	if errors.Is(err, scenario.ErrCanceled) {
+		return Point{}, context.Canceled
+	}
 	if err != nil {
 		return Point{}, err
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"path/filepath"
 	"reflect"
@@ -174,7 +175,7 @@ func TestAllSchemasRoundTripWithDefaults(t *testing.T) {
 // threshold and a hotspot fraction set purely through spec options, plus a
 // same-architecture pair distinguished only by options and labels.
 func TestRunStudyWithOptions(t *testing.T) {
-	rs, err := RunStudy(optionedSpec(), StudyConfig{})
+	rs, err := RunStudy(context.Background(), optionedSpec(), StudyConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestRunStudyWithOptions(t *testing.T) {
 		Slots:    20000,
 		Seed:     1,
 	}
-	rs, err = RunStudy(s, StudyConfig{})
+	rs, err = RunStudy(context.Background(), s, StudyConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,21 +226,21 @@ func TestRunStudyWithOptions(t *testing.T) {
 // in its header; resuming the same grid under different options must fail.
 func TestResumeRejectsOptionDrift(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "r.jsonl")
-	if _, err := RunStudy(optionedSpec(), StudyConfig{ResultsPath: path, HaltAfterPoints: 1}); !errors.Is(err, ErrHalted) {
+	if _, err := RunStudy(context.Background(), optionedSpec(), StudyConfig{ResultsPath: path, HaltAfterPoints: 1}); !errors.Is(err, ErrHalted) {
 		t.Fatalf("want ErrHalted, got %v", err)
 	}
 	drifted := optionedSpec()
 	drifted.Algorithms[0].Options = registry.Options{"threshold": 6}
-	if _, err := RunStudy(drifted, StudyConfig{ResultsPath: path}); err == nil {
+	if _, err := RunStudy(context.Background(), drifted, StudyConfig{ResultsPath: path}); err == nil {
 		t.Fatal("checkpoint with different algorithm options must be rejected")
 	}
 	driftedT := optionedSpec()
 	driftedT.Traffic[0].Options = registry.Options{"fraction": 0.5}
-	if _, err := RunStudy(driftedT, StudyConfig{ResultsPath: path}); err == nil {
+	if _, err := RunStudy(context.Background(), driftedT, StudyConfig{ResultsPath: path}); err == nil {
 		t.Fatal("checkpoint with different traffic options must be rejected")
 	}
 	// The unchanged spec still resumes.
-	if _, err := RunStudy(optionedSpec(), StudyConfig{ResultsPath: path}); err != nil {
+	if _, err := RunStudy(context.Background(), optionedSpec(), StudyConfig{ResultsPath: path}); err != nil {
 		t.Fatalf("identical spec failed to resume: %v", err)
 	}
 }

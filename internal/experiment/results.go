@@ -21,14 +21,29 @@ import (
 // a kill can cause is a partial final line, which loadResults detects and
 // the runner truncates before appending.
 
+// CheckpointVersion is the JSONL checkpoint schema version this build
+// writes and reads. History:
+//
+//	v1 — header {"spec": ...}, no version field; replica seeds derived
+//	     from the point's grid index.
+//	v2 — header gains "v"; replica seeds derive from the point's content
+//	     identity (resultcache), so the same physical point seeds
+//	     identically in any study. A v1 file extended by a v2 build would
+//	     silently mix the two derivations, so cross-version resume is
+//	     refused with an explicit error.
+const CheckpointVersion = 2
+
 // resultsHeader is the first line of a checkpoint file.
 type resultsHeader struct {
-	Spec *Spec `json:"spec"`
+	// Version is the checkpoint schema version; absent (0) in files
+	// written before versioning, which are read as v1.
+	Version int   `json:"v,omitempty"`
+	Spec    *Spec `json:"spec"`
 }
 
 // appendHeader writes the spec header line of a fresh checkpoint.
 func appendHeader(w io.Writer, spec Spec) error {
-	b, err := json.Marshal(resultsHeader{Spec: &spec})
+	b, err := json.Marshal(resultsHeader{Version: CheckpointVersion, Spec: &spec})
 	if err != nil {
 		return err
 	}
@@ -77,6 +92,11 @@ func loadResults(path string, spec Spec, keys []PointKey) (_ []PointResult, end 
 			var h resultsHeader
 			if jerr := json.Unmarshal(line, &h); jerr != nil || h.Spec == nil {
 				return nil, 0, false, fmt.Errorf("experiment: results file %s has no spec header line", path)
+			}
+			if v := max(h.Version, 1); v != CheckpointVersion {
+				return nil, 0, false, fmt.Errorf(
+					"experiment: results file %s was written with checkpoint schema v%d, but this build reads v%d; finish it with a matching build or start a fresh results file",
+					path, v, CheckpointVersion)
 			}
 			if !reflect.DeepEqual(*h.Spec, spec) {
 				return nil, 0, false, fmt.Errorf("experiment: results file %s was started by a different study: recorded spec %+v, running spec %+v",

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -23,7 +24,7 @@ func TestResumeByteIdenticalUnderRandomKills(t *testing.T) {
 	dir := t.TempDir()
 
 	fullPath := filepath.Join(dir, "full.jsonl")
-	if _, err := RunStudy(spec, StudyConfig{ResultsPath: fullPath, Parallelism: 4}); err != nil {
+	if _, err := RunStudy(context.Background(), spec, StudyConfig{ResultsPath: fullPath, Parallelism: 4}); err != nil {
 		t.Fatal(err)
 	}
 	want, err := os.ReadFile(fullPath)
@@ -43,7 +44,7 @@ func TestResumeByteIdenticalUnderRandomKills(t *testing.T) {
 		for k := 0; k < kills; k++ {
 			halt := 1 + rng.Intn(total-1)
 			schedule = append(schedule, halt)
-			_, err := RunStudy(spec, StudyConfig{
+			_, err := RunStudy(context.Background(), spec, StudyConfig{
 				ResultsPath:     path,
 				Parallelism:     1 + rng.Intn(4),
 				HaltAfterPoints: halt,
@@ -65,7 +66,7 @@ func TestResumeByteIdenticalUnderRandomKills(t *testing.T) {
 				f.Close()
 			}
 		}
-		if _, err := RunStudy(spec, StudyConfig{ResultsPath: path, Parallelism: 1 + rng.Intn(4)}); err != nil {
+		if _, err := RunStudy(context.Background(), spec, StudyConfig{ResultsPath: path, Parallelism: 1 + rng.Intn(4)}); err != nil {
 			t.Fatalf("trial %d schedule %v: final resume failed: %v", trial, schedule, err)
 		}
 		got, err := os.ReadFile(path)

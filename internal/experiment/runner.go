@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 
 	"sprinklers/internal/bound"
 	"sprinklers/internal/markov"
+	"sprinklers/internal/resultcache"
 	"sprinklers/internal/stats"
 )
 
@@ -64,21 +66,35 @@ type StudyConfig struct {
 	// partial trailing line (from a killed run) is truncated away.
 	ResultsPath string
 	// Progress, when set, is called after each point is recorded (including
-	// points loaded from the checkpoint), with done counting recorded
-	// points out of total.
+	// points loaded from the checkpoint or served from the cache), with
+	// done counting recorded points out of total.
 	Progress func(done, total int, r PointResult)
 	// HaltAfterPoints > 0 stops the study cleanly after recording that
 	// many NEW points, returning ErrHalted. It exists to make "kill the
 	// sweep mid-run" deterministic in tests and CI.
 	HaltAfterPoints int
+	// Cache, when non-nil, is the content-addressed result cache (sim
+	// studies only; analytic points cost less than a disk read). Every
+	// point is looked up by its PointIdentity key before any simulation is
+	// scheduled, and every freshly computed point is stored back — so
+	// overlapping studies share points and resubmitting a fully cached
+	// spec executes zero simulation slots.
+	Cache PointCache
+	// Counters, when set, accumulates cache and work metrics across
+	// studies (the daemon scrapes one process-wide Counters at /metrics).
+	Counters *Counters
 }
 
-// replicaSeed derives the seed for replica rep of grid point pi from the
-// study's base seed. splitmix64-style finalization keeps seeds deterministic
-// for a (spec, point, replica) triple — the property resume depends on —
-// while decorrelating neighboring points.
-func replicaSeed(base int64, pi, rep int) int64 {
-	z := uint64(base)*0x9e3779b97f4a7c15 + uint64(pi+1)*0xbf58476d1ce4e5b9 + uint64(rep+1)*0x94d049bb133111eb
+// replicaSeed derives the seed for one replica of one grid point from the
+// study's base seed and the point's content fingerprint
+// (resultcache.Identity.SeedFingerprint). splitmix64-style finalization
+// keeps seeds deterministic for a (base seed, physical point, replica)
+// triple while decorrelating neighboring points. Deriving from the content
+// fingerprint rather than the grid index means the same physical point
+// produces the same replicas in any study that contains it — the property
+// the content-addressed result cache shares points across studies by.
+func replicaSeed(base int64, fp uint64, rep int) int64 {
+	z := uint64(base)*0x9e3779b97f4a7c15 + fp + uint64(rep+1)*0xbf58476d1ce4e5b9
 	z ^= z >> 30
 	z *= 0xbf58476d1ce4e5b9
 	z ^= z >> 27
@@ -93,8 +109,8 @@ func replicaSeed(base int64, pi, rep int) int64 {
 
 // runReplica executes one (point, replica) simulation job. The point key
 // carries series labels; the spec entries resolve them back to registered
-// names and option assignments.
-func runReplica(spec Spec, pi int, key PointKey, rep int) (Point, error) {
+// names and option assignments. ctx aborts the slot loop mid-replica.
+func runReplica(ctx context.Context, spec Spec, fp uint64, key PointKey, rep int, ctr *Counters) (Point, error) {
 	alg := spec.algEntry(key.Algorithm)
 	tk := spec.trafficEntry(key.Traffic)
 	cfg := Config{
@@ -103,18 +119,28 @@ func runReplica(spec Spec, pi int, key PointKey, rep int) (Point, error) {
 		Slots:          spec.Slots,
 		Warmup:         spec.Warmup,
 		Burst:          key.Burst,
-		Seed:           replicaSeed(spec.Seed, pi, rep),
+		Seed:           replicaSeed(spec.Seed, fp, rep),
 		AlgOptions:     alg.Options,
 		TrafficOptions: tk.Options,
 		Windows:        spec.Windows,
 		Parallelism:    1, // RunPoint is single-threaded; pool-level parallelism only
+		Cancel:         ctx.Done(),
 	}
 	if key.Scenario != "" {
 		sc := spec.scenarioEntry(key.Scenario)
 		cfg.Scenario = sc.Name
 		cfg.ScenarioOptions = sc.Options
 	}
-	return RunPoint(alg.Name, cfg, key.Load)
+	// Resolve the defaults here (withDefaults is idempotent; RunPoint
+	// applies it again) so the slot accounting below reads the exact
+	// warmup the simulation runs with rather than re-deriving the policy.
+	cfg = cfg.withDefaults()
+	p, err := RunPoint(alg.Name, cfg, key.Load)
+	if err == nil && ctr != nil {
+		ctr.ReplicasComputed.Add(1)
+		ctr.SlotsSimulated.Add(int64(cfg.Slots + cfg.Warmup))
+	}
+	return p, err
 }
 
 // analyticPoint evaluates one point of a markov or bound study.
@@ -184,6 +210,15 @@ func aggregateWindows(reps []Point) []stats.WindowPoint {
 	return out
 }
 
+// IsCancellation reports whether err is a context cancellation or deadline
+// expiry (however wrapped) — the condition under which RunStudy (and the
+// remote client) returned a usable partial prefix rather than failing. The
+// CLIs share it to pick between "render what we have, exit 2" and a hard
+// error.
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // RunStudy executes spec, sharding (point, replica) jobs across a worker
 // pool and aggregating each point's replicas into a PointResult. Results are
 // returned in canonical grid order.
@@ -192,10 +227,27 @@ func aggregateWindows(reps []Point) []stats.WindowPoint {
 // strictly in grid order; a later run with the same spec and file skips the
 // recorded prefix, so an interrupted study resumes where it stopped and the
 // final file is byte-identical to an uninterrupted run's.
-func RunStudy(spec Spec, cfg StudyConfig) ([]PointResult, error) {
+//
+// With cfg.Cache set, every sim point is first looked up by content
+// identity and every computed point is stored back, so a study only ever
+// simulates points no previous study (or run) has computed.
+//
+// Canceling ctx stops the study promptly — the worker pool drains, each
+// in-flight replica aborts its slot loop within milliseconds, and every
+// point recorded so far has already been flushed to the checkpoint — and
+// RunStudy returns the recorded prefix alongside the context's error, so
+// callers can render partial results after a Ctrl-C or serve them after an
+// API cancellation.
+func RunStudy(ctx context.Context, spec Spec, cfg StudyConfig) ([]PointResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	spec = spec.WithDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Counters != nil {
+		cfg.Counters.StudiesRun.Add(1)
 	}
 	keys := spec.Points()
 	total := len(keys)
@@ -237,6 +289,83 @@ func RunStudy(spec Spec, cfg StudyConfig) ([]PointResult, error) {
 		return results, nil
 	}
 
+	// Content identities: the replica seeds derive from them, and the
+	// result cache keys on them.
+	var ids []resultcache.Identity
+	var fps []uint64
+	if spec.Kind == SimStudy {
+		ids = make([]resultcache.Identity, total)
+		fps = make([]uint64, total)
+		for pi, k := range keys {
+			ids[pi] = spec.PointIdentity(k)
+			fps[pi] = ids[pi].SeedFingerprint()
+		}
+	}
+
+	// ready holds finished points awaiting their turn; record drains every
+	// consecutive finished point strictly in grid order, so the checkpoint
+	// file is always a prefix of the canonical sequence.
+	ready := make(map[int]PointResult)
+	next := start // next point index to record, in grid order
+	written := 0
+	record := func() (halted bool, _ error) {
+		for {
+			rec, ok := ready[next]
+			if !ok {
+				return false, nil
+			}
+			delete(ready, next)
+			if out != nil {
+				if err := appendResult(out, rec); err != nil {
+					return false, err
+				}
+			}
+			results[next] = rec
+			next++
+			written++
+			if cfg.Progress != nil {
+				cfg.Progress(next, total, rec)
+			}
+			if cfg.HaltAfterPoints > 0 && written >= cfg.HaltAfterPoints {
+				return true, nil
+			}
+		}
+	}
+
+	// Cache pre-pass: resolve every remaining point against the cache
+	// before scheduling any work. Hits skip simulation entirely; a fully
+	// cached resubmission never starts the worker pool.
+	cached := make([]bool, total)
+	if cfg.Cache != nil && spec.Kind == SimStudy {
+		for pi := start; pi < total; pi++ {
+			b, ok, err := cfg.Cache.Get(ids[pi].Key())
+			if err != nil {
+				return nil, fmt.Errorf("experiment: result cache: %w", err)
+			}
+			if ok {
+				if rec, valid := decodeCachedPoint(b, ids[pi], keys[pi]); valid {
+					ready[pi] = rec
+					cached[pi] = true
+					if cfg.Counters != nil {
+						cfg.Counters.CacheHits.Add(1)
+					}
+					continue
+				}
+			}
+			if cfg.Counters != nil {
+				cfg.Counters.CacheMisses.Add(1)
+			}
+		}
+	}
+	if halted, err := record(); err != nil {
+		return nil, err
+	} else if halted {
+		return results[:next], ErrHalted
+	}
+	if next == total {
+		return results, nil
+	}
+
 	par := cfg.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
@@ -265,9 +394,14 @@ func RunStudy(spec Spec, cfg StudyConfig) ([]PointResult, error) {
 			for jb := range jobs {
 				var ro repOut
 				ro.pi, ro.rep = jb.pi, jb.rep
-				if spec.Kind == SimStudy {
-					ro.p, ro.err = runReplica(spec, jb.pi, keys[jb.pi], jb.rep)
-				} else {
+				switch {
+				case ctx.Err() != nil:
+					// A canceled study drains its queued jobs as errors
+					// instead of burning simulation time on them.
+					ro.err = ctx.Err()
+				case spec.Kind == SimStudy:
+					ro.p, ro.err = runReplica(ctx, spec, fps[jb.pi], keys[jb.pi], jb.rep, cfg.Counters)
+				default:
 					ro.rec = analyticPoint(spec.Kind, keys[jb.pi])
 				}
 				select {
@@ -278,9 +412,13 @@ func RunStudy(spec Spec, cfg StudyConfig) ([]PointResult, error) {
 			}
 		}()
 	}
+	remaining := 0
 	go func() {
 		defer close(jobs)
 		for pi := start; pi < total; pi++ {
+			if cached[pi] {
+				continue
+			}
 			for rep := 0; rep < reps; rep++ {
 				select {
 				case jobs <- job{pi, rep}:
@@ -290,24 +428,31 @@ func RunStudy(spec Spec, cfg StudyConfig) ([]PointResult, error) {
 			}
 		}
 	}()
+	for pi := start; pi < total; pi++ {
+		if !cached[pi] {
+			remaining += reps
+		}
+	}
 
 	pending := make(map[int][]Point) // point index -> replica measurements
 	counts := make(map[int]int)
-	ready := make(map[int]PointResult)
-	next := start // next point index to record, in grid order
-	written := 0
-	remaining := (total - start) * reps
 	var runErr error
 
-recv:
 	for remaining > 0 {
 		ro := <-outs
 		remaining--
 		if ro.err != nil {
-			runErr = fmt.Errorf("%s: %w", keys[ro.pi], ro.err)
+			if IsCancellation(ro.err) {
+				runErr = ro.err
+			} else {
+				runErr = fmt.Errorf("%s: %w", keys[ro.pi], ro.err)
+			}
 			break
 		}
 		if spec.Kind != SimStudy {
+			if cfg.Counters != nil {
+				cfg.Counters.PointsComputed.Add(1)
+			}
 			ready[ro.pi] = ro.rec
 		} else {
 			ps := pending[ro.pi]
@@ -320,40 +465,40 @@ recv:
 			if counts[ro.pi] < reps {
 				continue
 			}
-			ready[ro.pi] = aggregate(keys[ro.pi], ps)
+			rec := aggregate(keys[ro.pi], ps)
 			delete(pending, ro.pi)
 			delete(counts, ro.pi)
-		}
-		// Record every consecutive finished point, strictly in grid order:
-		// the checkpoint file is always a prefix of the canonical sequence.
-		for {
-			rec, ok := ready[next]
-			if !ok {
-				break
+			if cfg.Counters != nil {
+				cfg.Counters.PointsComputed.Add(1)
 			}
-			delete(ready, next)
-			if out != nil {
-				if err := appendResult(out, rec); err != nil {
-					runErr = err
-					break recv
+			if cfg.Cache != nil {
+				if err := cfg.Cache.Put(ids[ro.pi].Key(), encodeCachedPoint(ids[ro.pi], rec)); err != nil {
+					runErr = fmt.Errorf("experiment: result cache: %w", err)
+					break
 				}
 			}
-			results[next] = rec
-			next++
-			written++
-			if cfg.Progress != nil {
-				cfg.Progress(next, total, rec)
-			}
-			if cfg.HaltAfterPoints > 0 && written >= cfg.HaltAfterPoints {
-				stop()
-				wg.Wait()
-				return results[:next], ErrHalted
-			}
+			ready[ro.pi] = rec
+		}
+		halted, err := record()
+		if err != nil {
+			runErr = err
+			break
+		}
+		if halted {
+			stop()
+			wg.Wait()
+			return results[:next], ErrHalted
 		}
 	}
 	stop()
 	wg.Wait()
 	if runErr != nil {
+		if IsCancellation(runErr) {
+			// Everything recorded so far is already flushed to the
+			// checkpoint; hand the prefix back so the caller can render or
+			// serve partial results.
+			return results[:next], runErr
+		}
 		return nil, runErr
 	}
 	return results, nil

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"math"
 	"os"
@@ -30,7 +31,7 @@ func smokeSpec(replicas int) Spec {
 }
 
 func TestRunStudyReplicaAggregation(t *testing.T) {
-	rs, err := RunStudy(smokeSpec(3), StudyConfig{})
+	rs, err := RunStudy(context.Background(), smokeSpec(3), StudyConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestRunStudyCIShrinksWithReplicas(t *testing.T) {
 		s := smokeSpec(replicas)
 		s.Loads = []float64{0.8}
 		s.Algorithms = Algs(LoadBalanced)
-		rs, err := RunStudy(s, StudyConfig{})
+		rs, err := RunStudy(context.Background(), s, StudyConfig{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,11 +80,11 @@ func TestRunStudyCIShrinksWithReplicas(t *testing.T) {
 }
 
 func TestRunStudyDeterministic(t *testing.T) {
-	a, err := RunStudy(smokeSpec(3), StudyConfig{Parallelism: 4})
+	a, err := RunStudy(context.Background(), smokeSpec(3), StudyConfig{Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunStudy(smokeSpec(3), StudyConfig{Parallelism: 1})
+	b, err := RunStudy(context.Background(), smokeSpec(3), StudyConfig{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,11 +99,11 @@ func TestRunStudyResumeByteIdentical(t *testing.T) {
 	resumed := filepath.Join(dir, "resumed.jsonl")
 	spec := smokeSpec(3)
 
-	if _, err := RunStudy(spec, StudyConfig{ResultsPath: full}); err != nil {
+	if _, err := RunStudy(context.Background(), spec, StudyConfig{ResultsPath: full}); err != nil {
 		t.Fatal(err)
 	}
 	// Interrupted run: halt after 2 of 4 points (a deterministic kill).
-	_, err := RunStudy(spec, StudyConfig{ResultsPath: resumed, HaltAfterPoints: 2})
+	_, err := RunStudy(context.Background(), spec, StudyConfig{ResultsPath: resumed, HaltAfterPoints: 2})
 	if !errors.Is(err, ErrHalted) {
 		t.Fatalf("want ErrHalted, got %v", err)
 	}
@@ -116,7 +117,7 @@ func TestRunStudyResumeByteIdentical(t *testing.T) {
 	}
 	f.Close()
 	// Resume and finish.
-	rs, err := RunStudy(spec, StudyConfig{ResultsPath: resumed})
+	rs, err := RunStudy(context.Background(), spec, StudyConfig{ResultsPath: resumed})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestRunStudyResumeSkipsRecorded(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "r.jsonl")
 	spec := smokeSpec(2)
-	_, err := RunStudy(spec, StudyConfig{ResultsPath: path, HaltAfterPoints: 1})
+	_, err := RunStudy(context.Background(), spec, StudyConfig{ResultsPath: path, HaltAfterPoints: 1})
 	if !errors.Is(err, ErrHalted) {
 		t.Fatalf("want ErrHalted, got %v", err)
 	}
@@ -159,7 +160,7 @@ func TestRunStudyResumeSkipsRecorded(t *testing.T) {
 	if err := os.WriteFile(path, []byte(edited), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	rs, err := RunStudy(spec, StudyConfig{ResultsPath: path})
+	rs, err := RunStudy(context.Background(), spec, StudyConfig{ResultsPath: path})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,28 +172,28 @@ func TestRunStudyResumeSkipsRecorded(t *testing.T) {
 func TestRunStudyResumeRejectsMismatchedSpec(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "r.jsonl")
-	if _, err := RunStudy(smokeSpec(2), StudyConfig{ResultsPath: path}); err != nil {
+	if _, err := RunStudy(context.Background(), smokeSpec(2), StudyConfig{ResultsPath: path}); err != nil {
 		t.Fatal(err)
 	}
 	other := smokeSpec(2)
 	other.Loads = []float64{0.5, 0.7} // different grid, same file
-	if _, err := RunStudy(other, StudyConfig{ResultsPath: path}); err == nil {
+	if _, err := RunStudy(context.Background(), other, StudyConfig{ResultsPath: path}); err == nil {
 		t.Fatal("mismatched results file should be rejected")
 	}
 	// Same grid but different run parameters is still a different study:
 	// the header must catch slots/seed/replicas drift the keys cannot.
 	sameGrid := smokeSpec(2)
 	sameGrid.Slots = 9999
-	if _, err := RunStudy(sameGrid, StudyConfig{ResultsPath: path}); err == nil {
+	if _, err := RunStudy(context.Background(), sameGrid, StudyConfig{ResultsPath: path}); err == nil {
 		t.Fatal("results file from different slots should be rejected")
 	}
 	sameGrid = smokeSpec(3)
-	if _, err := RunStudy(sameGrid, StudyConfig{ResultsPath: path}); err == nil {
+	if _, err := RunStudy(context.Background(), sameGrid, StudyConfig{ResultsPath: path}); err == nil {
 		t.Fatal("results file from different replica count should be rejected")
 	}
 	sameGrid = smokeSpec(2)
 	sameGrid.Seed = 42
-	if _, err := RunStudy(sameGrid, StudyConfig{ResultsPath: path}); err == nil {
+	if _, err := RunStudy(context.Background(), sameGrid, StudyConfig{ResultsPath: path}); err == nil {
 		t.Fatal("results file from different seed should be rejected")
 	}
 }
@@ -200,7 +201,7 @@ func TestRunStudyResumeRejectsMismatchedSpec(t *testing.T) {
 func TestRunStudyProgress(t *testing.T) {
 	var dones []int
 	spec := smokeSpec(2)
-	_, err := RunStudy(spec, StudyConfig{
+	_, err := RunStudy(context.Background(), spec, StudyConfig{
 		Progress: func(done, total int, r PointResult) {
 			if total != 4 {
 				t.Errorf("total %d", total)
@@ -221,7 +222,7 @@ func TestRunStudyBurstGrid(t *testing.T) {
 	spec.Algorithms = Algs(Sprinklers)
 	spec.Loads = []float64{0.5}
 	spec.Bursts = []float64{0, 8}
-	rs, err := RunStudy(spec, StudyConfig{})
+	rs, err := RunStudy(context.Background(), spec, StudyConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestRunStudyBurstGrid(t *testing.T) {
 
 func TestRunStudyAnalyticKinds(t *testing.T) {
 	m := Spec{Kind: MarkovStudy, Loads: []float64{0.9}, Sizes: []int{8, 32}}
-	rs, err := RunStudy(m, StudyConfig{})
+	rs, err := RunStudy(context.Background(), m, StudyConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestRunStudyAnalyticKinds(t *testing.T) {
 		}
 	}
 	b := Spec{Kind: BoundStudy, Loads: []float64{0.5, 0.95}, Sizes: []int{1024}}
-	brs, err := RunStudy(b, StudyConfig{})
+	brs, err := RunStudy(context.Background(), b, StudyConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,10 +262,10 @@ func TestRunStudyAnalyticKinds(t *testing.T) {
 	// Analytic studies checkpoint and resume like simulations.
 	dir := t.TempDir()
 	path := filepath.Join(dir, "b.jsonl")
-	if _, err := RunStudy(b, StudyConfig{ResultsPath: path, HaltAfterPoints: 1}); !errors.Is(err, ErrHalted) {
+	if _, err := RunStudy(context.Background(), b, StudyConfig{ResultsPath: path, HaltAfterPoints: 1}); !errors.Is(err, ErrHalted) {
 		t.Fatalf("want ErrHalted, got %v", err)
 	}
-	brs2, err := RunStudy(b, StudyConfig{ResultsPath: path})
+	brs2, err := RunStudy(context.Background(), b, StudyConfig{ResultsPath: path})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +275,7 @@ func TestRunStudyAnalyticKinds(t *testing.T) {
 }
 
 func TestStudyRenderers(t *testing.T) {
-	rs, err := RunStudy(smokeSpec(3), StudyConfig{})
+	rs, err := RunStudy(context.Background(), smokeSpec(3), StudyConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

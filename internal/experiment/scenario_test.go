@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -112,7 +113,7 @@ func TestScenarioPointsOrder(t *testing.T) {
 }
 
 func TestRunStudyScenarioWindows(t *testing.T) {
-	results, err := RunStudy(flashSpec(), StudyConfig{Parallelism: 4})
+	results, err := RunStudy(context.Background(), flashSpec(), StudyConfig{Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,17 +144,17 @@ func TestScenarioResumeRejectsOptionDrift(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "results.jsonl")
 	spec := flashSpec()
-	if _, err := RunStudy(spec, StudyConfig{ResultsPath: path, HaltAfterPoints: 1}); err != ErrHalted {
+	if _, err := RunStudy(context.Background(), spec, StudyConfig{ResultsPath: path, HaltAfterPoints: 1}); err != ErrHalted {
 		t.Fatalf("halt run: %v", err)
 	}
 	drifted := flashSpec()
 	drifted.Scenarios[0].Options = registry.Options{"surge": 0.5}
-	_, err := RunStudy(drifted, StudyConfig{ResultsPath: path})
+	_, err := RunStudy(context.Background(), drifted, StudyConfig{ResultsPath: path})
 	if err == nil || !strings.Contains(err.Error(), "different study") {
 		t.Fatalf("drifted scenario options resumed a foreign checkpoint: %v", err)
 	}
 	// The original spec still resumes cleanly.
-	if _, err := RunStudy(spec, StudyConfig{ResultsPath: path}); err != nil {
+	if _, err := RunStudy(context.Background(), spec, StudyConfig{ResultsPath: path}); err != nil {
 		t.Fatalf("legitimate resume failed: %v", err)
 	}
 	data, err := os.ReadFile(path)

@@ -1,0 +1,105 @@
+package registry
+
+import "math"
+
+// The structured catalog: a JSON-serializable view of everything the
+// registry knows — architectures, workloads and scenarios with their
+// metadata and full option schemas. The study-serving daemon exposes it at
+// /api/v1/catalog so remote clients can discover what a server can run and
+// validate option assignments before submitting; WriteCatalog remains the
+// human-oriented text rendering behind every tool's -list flag.
+
+// OptionInfo describes one declared option in the structured catalog.
+type OptionInfo struct {
+	Name    string `json:"name"`
+	Type    Type   `json:"type"`
+	Default any    `json:"default"`
+	Help    string `json:"help,omitempty"`
+	// Min and Max are present only for bounded numeric options; an
+	// unbounded maximum (AtLeast) omits Max.
+	Min  *float64 `json:"min,omitempty"`
+	Max  *float64 `json:"max,omitempty"`
+	Enum []string `json:"enum,omitempty"`
+}
+
+// optionInfo converts a schema entry to its catalog form, with the int
+// default rendered as a JSON-friendly integral float (its canonical form).
+func optionInfo(o Option) OptionInfo {
+	info := OptionInfo{Name: o.Name, Type: o.Type, Default: o.Default, Help: o.Help, Enum: o.Enum}
+	if o.Bounded {
+		min := o.Min
+		info.Min = &min
+		if o.Max != math.MaxFloat64 {
+			max := o.Max
+			info.Max = &max
+		}
+	}
+	return info
+}
+
+func schemaInfo(s Schema) []OptionInfo {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]OptionInfo, len(s))
+	for i, o := range s {
+		out[i] = optionInfo(o)
+	}
+	return out
+}
+
+// ArchitectureInfo is the catalog entry of one registered architecture.
+type ArchitectureInfo struct {
+	Name            string       `json:"name"`
+	Description     string       `json:"description,omitempty"`
+	OrderPreserving bool         `json:"order_preserving,omitempty"`
+	MaxStableLoad   float64      `json:"max_stable_load,omitempty"`
+	Options         []OptionInfo `json:"options,omitempty"`
+}
+
+// WorkloadInfo is the catalog entry of one registered workload.
+type WorkloadInfo struct {
+	Name        string       `json:"name"`
+	Description string       `json:"description,omitempty"`
+	Options     []OptionInfo `json:"options,omitempty"`
+}
+
+// ScenarioInfo is the catalog entry of one registered dynamic scenario.
+type ScenarioInfo struct {
+	Name        string       `json:"name"`
+	Description string       `json:"description,omitempty"`
+	Options     []OptionInfo `json:"options,omitempty"`
+}
+
+// CatalogDoc is the full structured catalog, in canonical (rank, name)
+// order throughout.
+type CatalogDoc struct {
+	Architectures []ArchitectureInfo `json:"architectures"`
+	Workloads     []WorkloadInfo     `json:"workloads"`
+	Scenarios     []ScenarioInfo     `json:"scenarios,omitempty"`
+}
+
+// Catalog returns the structured catalog of every registration.
+func Catalog() CatalogDoc {
+	var doc CatalogDoc
+	for _, a := range Architectures() {
+		doc.Architectures = append(doc.Architectures, ArchitectureInfo{
+			Name:            a.Name,
+			Description:     a.Description,
+			OrderPreserving: a.OrderPreserving,
+			MaxStableLoad:   a.MaxStableLoad,
+			Options:         schemaInfo(a.Options),
+		})
+	}
+	for _, w := range Workloads() {
+		doc.Workloads = append(doc.Workloads, WorkloadInfo{
+			Name: w.Name, Description: w.Description, Options: schemaInfo(w.Options),
+		})
+	}
+	for _, s := range Scenarios() {
+		doc.Scenarios = append(doc.Scenarios, ScenarioInfo{
+			Name: s.Name, Description: s.Description, Options: schemaInfo(s.Options),
+		})
+	}
+	return doc
+}

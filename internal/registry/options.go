@@ -276,6 +276,42 @@ func (o OptionFlag) Set(s string) error {
 	return nil
 }
 
+// ParseOptionPairs folds repeated "key=value" assignments through the same
+// value inference as OptionFlag, returning nil for an empty list so
+// optionless series keep their compact normalized form. It is the shared
+// backend of every tool's -sopt/-topt/-aopt style flags and of the
+// "name:key=value,..." series syntax parsed by ParseSeriesEntry.
+func ParseOptionPairs(pairs []string) (Options, error) {
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	out := OptionFlag{}
+	for _, p := range pairs {
+		if err := out.Set(strings.TrimSpace(p)); err != nil {
+			return nil, err
+		}
+	}
+	return Options(out), nil
+}
+
+// ParseSeriesEntry parses the shared CLI series syntax "name" or
+// "name:key=value,key=value" into a registered name and an option
+// assignment (nil when no options are given). The cmd tools use it for
+// repeatable -alg style flags, where two optioned variants of one
+// architecture form two distinct study series.
+func ParseSeriesEntry(entry string) (name string, opts Options, err error) {
+	head, rest, found := strings.Cut(entry, ":")
+	name = strings.TrimSpace(head)
+	if !found {
+		return name, nil, nil
+	}
+	opts, err = ParseOptionPairs(strings.Split(rest, ","))
+	if err != nil {
+		return "", nil, fmt.Errorf("series entry %q: %v", entry, err)
+	}
+	return name, opts, nil
+}
+
 // Int returns the named int option. It panics on a missing key or a
 // non-numeric value: call sites only ever see schema-normalized Options, so
 // either is a programming error, not user input.

@@ -1,0 +1,121 @@
+package resultcache
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Store is an on-disk content-addressed blob store. Keys are the hex
+// SHA-256 strings produced by Identity.Key; values are whatever the caller
+// serialized (the experiment layer stores an {identity, result} envelope).
+// Entries are sharded into 256 subdirectories by key prefix and written
+// atomically (temp file + rename), so concurrent readers never observe a
+// torn value and two writers racing on one key converge on a complete copy.
+// A Store is safe for concurrent use by multiple goroutines.
+type Store struct {
+	dir string
+	// puts counts successful writes since Open, for the daemon's metrics.
+	puts atomic.Int64
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("resultcache: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// validKey rejects anything that is not a plain hex content address —
+// nothing with path structure can ever reach the filesystem layer.
+func validKey(key string) error {
+	if len(key) < 8 {
+		return fmt.Errorf("resultcache: key %q too short", key)
+	}
+	for _, c := range key {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return fmt.Errorf("resultcache: key %q is not lowercase hex", key)
+		}
+	}
+	return nil
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// Get returns the value stored under key, with ok reporting whether the
+// key is present. A malformed key is an error, not a miss.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	if err := validKey(key); err != nil {
+		return nil, false, err
+	}
+	b, err := os.ReadFile(s.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+// Put stores val under key, atomically: the value is written to a temp
+// file in the same shard directory and renamed into place, so a crashed or
+// racing writer can never leave a partial entry where Get would find it.
+func (s *Store) Put(key string, val []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	shard := filepath.Join(s.dir, key[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(shard, "put-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(val); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		return err
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// Puts reports the number of successful writes since Open.
+func (s *Store) Puts() int64 { return s.puts.Load() }
+
+// Len walks the store and counts entries. It exists for status endpoints
+// and tests; it is O(entries) and takes no locks, so the count is a
+// point-in-time approximation under concurrent writes.
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

@@ -15,6 +15,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -55,7 +56,14 @@ type Config struct {
 	// Seed makes the whole replay — workload, scenario randomness, switch,
 	// arrival process — deterministic.
 	Seed int64
+	// Cancel, when non-nil, aborts the replay early (sim.RunConfig.Cancel
+	// semantics). Run then returns ErrCanceled instead of a partial,
+	// misleading Result.
+	Cancel <-chan struct{}
 }
+
+// ErrCanceled is returned by Run when Config.Cancel fired mid-replay.
+var ErrCanceled = errors.New("scenario: replay canceled")
 
 // Result is one replay's outcome: the windowed trajectory plus the usual
 // whole-run aggregates.
@@ -134,7 +142,15 @@ func Run(cfg Config) (*Result, error) {
 		Warmup: cfg.Warmup,
 		Slots:  cfg.Slots,
 		OnSlot: func(t sim.Slot) { windowed.OnSlot(t, backlog) },
+		Cancel: cfg.Cancel,
 	}, stats.Multi{delay, windowed})
+	if cfg.Cancel != nil {
+		select {
+		case <-cfg.Cancel:
+			return nil, ErrCanceled
+		default:
+		}
+	}
 	return &Result{
 		Windows:   windowed.Points(),
 		Events:    events,

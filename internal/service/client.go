@@ -1,0 +1,237 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"sprinklers/internal/experiment"
+)
+
+// Client talks to a sprinklerd daemon. It is what `sweep -remote` uses: a
+// spec built locally is submitted, progress is streamed, and the returned
+// results feed the exact same renderers the local path uses — so remote
+// and local output are byte-identical for the same spec.
+type Client struct {
+	// BaseURL is the daemon address, e.g. "http://127.0.0.1:8356".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient. Streaming requests rely
+	// on the client's default (no) timeout; use context deadlines instead.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpc() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimSuffix(c.BaseURL, "/") + path
+}
+
+// apiError extracts the {"error": ...} body of a non-2xx response.
+func apiError(resp *http.Response) error {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("sprinklerd: %s (%s)", e.Error, resp.Status)
+	}
+	return fmt.Errorf("sprinklerd: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit submits spec and returns the study's status. A 200 means the
+// submission joined an existing execution or finished study; a 202 means
+// it started one (Status.Created).
+func (c *Client) Submit(ctx context.Context, spec experiment.Spec) (StudyStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return StudyStatus{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/api/v1/studies"), bytes.NewReader(body))
+	if err != nil {
+		return StudyStatus{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return StudyStatus{}, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return StudyStatus{}, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var status StudyStatus
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		return StudyStatus{}, err
+	}
+	return status, nil
+}
+
+// Status fetches one study's status.
+func (c *Client) Status(ctx context.Context, id string) (StudyStatus, error) {
+	var out struct {
+		Status StudyStatus `json:"status"`
+	}
+	err := c.getJSON(ctx, "/api/v1/studies/"+id, &out)
+	return out.Status, err
+}
+
+// Cancel cancels a running study.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/api/v1/studies/"+id+"/cancel"), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	return nil
+}
+
+// Results fetches a study's result set; with wait it blocks server-side
+// until the study reaches a terminal state.
+func (c *Client) Results(ctx context.Context, id string, wait bool) (State, []experiment.PointResult, error) {
+	path := "/api/v1/studies/" + id + "/results"
+	if wait {
+		path += "?wait=1"
+	}
+	var out resultsResponse
+	if err := c.getJSON(ctx, path, &out); err != nil {
+		return "", nil, err
+	}
+	if out.State == StateFailed {
+		return out.State, out.Results, fmt.Errorf("sprinklerd: study %s failed: %s", id, out.Error)
+	}
+	return out.State, out.Results, nil
+}
+
+// Stream consumes the study's SSE progress stream from event index from,
+// invoking fn per point, and returns the study's terminal state.
+func (c *Client) Stream(ctx context.Context, id string, from int, fn func(ProgressEvent)) (State, error) {
+	path := fmt.Sprintf("/api/v1/studies/%s/events?from=%d", id, from)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return "", apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024) // trajectory-bearing points can be large
+	for sc.Scan() {
+		line := sc.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue
+		}
+		// A terminal line carries "state"; point lines carry "point".
+		var terminal struct {
+			State State  `json:"state"`
+			Error string `json:"error"`
+		}
+		if json.Unmarshal([]byte(data), &terminal) == nil && terminal.State != "" {
+			if terminal.State == StateFailed {
+				return terminal.State, fmt.Errorf("sprinklerd: study %s failed: %s", id, terminal.Error)
+			}
+			return terminal.State, nil
+		}
+		var ev ProgressEvent
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return "", fmt.Errorf("sprinklerd: bad event %q: %w", data, err)
+		}
+		if fn != nil {
+			fn(ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("sprinklerd: progress stream for %s ended without a terminal state", id)
+}
+
+// Run is the whole remote round trip: submit, stream progress, fetch
+// results. The returned results are in canonical grid order — exactly what
+// a local RunStudy of the same spec returns — so the caller renders them
+// with the same code paths.
+//
+// Cancellation mirrors the local runner: if ctx is canceled mid-stream,
+// the study is canceled server-side (best effort) and Run returns the
+// recorded prefix alongside an error wrapping context.Canceled; a study
+// canceled on the server by someone else reports the same way. Callers
+// therefore handle local and remote cancellation with one errors.Is check.
+func (c *Client) Run(ctx context.Context, spec experiment.Spec, progress func(ProgressEvent)) ([]experiment.PointResult, error) {
+	status, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	state := status.State
+	if !state.terminal() {
+		state, err = c.Stream(ctx, status.ID, 0, progress)
+		if ctx.Err() != nil {
+			// Local cancel, on a fresh-but-bounded context (ours is dead,
+			// and an unreachable daemon must not hang the caller forever).
+			// Only the submission that STARTED the execution propagates the
+			// cancel server-side: a joiner abandoning a deduplicated study
+			// must not kill the run for every other client attached to it.
+			bg, stop := context.WithTimeout(context.Background(), 30*time.Second)
+			defer stop()
+			if status.Created {
+				c.Cancel(bg, status.ID) //nolint:errcheck // best effort
+				_, results, _ := c.Results(bg, status.ID, true)
+				return results, fmt.Errorf("sprinklerd: study %s: %w", status.ID, ctx.Err())
+			}
+			_, results, _ := c.Results(bg, status.ID, false)
+			return results, fmt.Errorf("sprinklerd: study %s (still running on the server): %w", status.ID, ctx.Err())
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	_, results, err := c.Results(ctx, status.ID, false)
+	if err != nil {
+		return nil, err
+	}
+	if state == StateCanceled {
+		return results, fmt.Errorf("sprinklerd: study %s canceled on the server; %d points recorded: %w",
+			status.ID, len(results), context.Canceled)
+	}
+	return results, nil
+}

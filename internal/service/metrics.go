@@ -1,0 +1,34 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// handleMetrics renders the daemon's counters in the Prometheus text
+// exposition format (no client library — counters and gauges need nothing
+// beyond `# TYPE` lines and `name value` samples). The CI e2e job scrapes
+// sprinklerd_cache_hits_total and sprinklerd_sim_slots_total to prove that
+// a resubmitted study is a pure cache read: between the first and second
+// submission the hit counter rises by the point count and the slot counter
+// does not move.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c := s.counters.Snapshot()
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("sprinklerd_cache_hits_total", "Study points served from the content-addressed result cache.", c.CacheHits)
+	counter("sprinklerd_cache_misses_total", "Study points not found in the result cache.", c.CacheMisses)
+	counter("sprinklerd_points_computed_total", "Grid points computed (not served from cache or checkpoint).", c.PointsComputed)
+	counter("sprinklerd_replicas_computed_total", "Replica simulations executed.", c.ReplicasComputed)
+	counter("sprinklerd_sim_slots_total", "Simulation slots executed, warmup included.", c.SlotsSimulated)
+	counter("sprinklerd_studies_run_total", "Study executions started (submissions minus dedups).", c.StudiesRun)
+	counter("sprinklerd_studies_submitted_total", "Study submissions accepted.", s.submitted.Load())
+	counter("sprinklerd_studies_deduped_total", "Submissions joined onto an existing execution or finished study.", s.deduped.Load())
+	counter("sprinklerd_cache_puts_total", "Result-cache writes since the daemon started.", s.cache.Puts())
+	gauge("sprinklerd_studies_running", "Studies currently executing.", int64(s.RunningStudies()))
+}

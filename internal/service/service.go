@@ -1,0 +1,464 @@
+// Package service is the study-serving daemon core behind cmd/sprinklerd:
+// a long-running server that accepts declarative study Specs over HTTP,
+// executes them on a shared worker pool against a content-addressed result
+// cache (internal/resultcache), streams per-point progress, and serves the
+// aggregated results and every rendering the CLI tools produce locally.
+//
+// The serving model inverts the batch CLIs: a point is simulated at most
+// once per cache lifetime, no matter how many studies ask for it. Study
+// identity is the hash of the normalized spec, so two submissions of the
+// same study — concurrent or years apart — converge on one execution
+// (in-flight deduplication) or one cache read (resubmission). Each study
+// also appends to its own JSONL checkpoint, so a daemon killed mid-study
+// resumes the study's recorded prefix when the spec is submitted again.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sprinklers/internal/experiment"
+	"sprinklers/internal/resultcache"
+)
+
+// State is a study's lifecycle state.
+type State string
+
+// The study lifecycle: running → done | failed | canceled. A failed or
+// canceled study may be resubmitted, which starts a fresh run under the
+// same id (resuming its checkpoint and hitting its cached points).
+const (
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether a state is final.
+func (s State) terminal() bool { return s != StateRunning }
+
+// ProgressEvent is one per-point progress notification, in the order
+// points are recorded (canonical grid order).
+type ProgressEvent struct {
+	Done  int                    `json:"done"`
+	Total int                    `json:"total"`
+	Point experiment.PointResult `json:"point"`
+}
+
+// StudyStatus is the wire form of a study's current state.
+type StudyStatus struct {
+	ID    string `json:"id"`
+	Name  string `json:"name,omitempty"`
+	State State  `json:"state"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	Error string `json:"error,omitempty"`
+	// Created reports whether this submission started the execution
+	// (false: deduplicated onto an existing run or finished study).
+	Created bool `json:"created,omitempty"`
+}
+
+// Options configures a Server.
+type Options struct {
+	// CacheDir roots the content-addressed result cache and the per-study
+	// checkpoint files (required).
+	CacheDir string
+	// Parallelism bounds each study's worker pool; 0 = GOMAXPROCS.
+	Parallelism int
+	// Logf, when set, receives one line per notable server event.
+	Logf func(format string, args ...any)
+}
+
+// Server owns the daemon state: the result cache, the lifetime counters,
+// and the table of known studies. Create one with New, expose it with
+// Handler, stop it with Shutdown.
+type Server struct {
+	cache *resultcache.Store
+	par   int
+	logf  func(format string, args ...any)
+
+	counters experiment.Counters
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	running    sync.WaitGroup
+
+	submitted atomic.Int64
+	deduped   atomic.Int64
+
+	mu       sync.Mutex
+	studies  map[string]*study
+	seq      uint64 // submission order, for terminal-study eviction
+	draining bool
+}
+
+// maxTerminalStudies bounds how many finished/failed/canceled studies the
+// daemon keeps in memory for dedup, result serving and SSE replay. The
+// content-addressed cache is the durable store, so evicting an old
+// terminal study costs a later resubmission nothing but a cache re-read;
+// without a bound, a long-lived daemon's study table — each entry holding
+// its full result set, trajectory windows included — grows with every
+// distinct spec ever submitted.
+const maxTerminalStudies = 128
+
+// New opens (or creates) the cache directory and returns a ready Server.
+func New(opts Options) (*Server, error) {
+	store, err := resultcache.Open(opts.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Join(opts.CacheDir, "studies"), 0o755); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cache:      store,
+		par:        opts.Parallelism,
+		logf:       opts.Logf,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		studies:    map[string]*study{},
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	return s, nil
+}
+
+// Cache returns the server's result cache store.
+func (s *Server) Cache() *resultcache.Store { return s.cache }
+
+// Counters returns the server's process-lifetime counters.
+func (s *Server) Counters() *experiment.Counters { return &s.counters }
+
+// StudyID is the content address of a study: the hash of its normalized
+// spec's canonical JSON, truncated to 16 hex characters (64 bits — ample
+// for a study table, and short enough to paste into a URL).
+func StudyID(spec experiment.Spec) string {
+	b, err := json.Marshal(spec.WithDefaults())
+	if err != nil {
+		// A validated spec always marshals; an unvalidated one that does
+		// not will fail validation in Submit before the id is ever used.
+		return "unmarshalable"
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(b))[:16]
+}
+
+// ErrDraining is returned by Submit once Shutdown has begun.
+var ErrDraining = errors.New("service: server is draining")
+
+// ValidationError wraps a spec rejection so the HTTP layer can map it to
+// 400 instead of 500.
+type ValidationError struct{ Err error }
+
+func (e ValidationError) Error() string { return e.Err.Error() }
+func (e ValidationError) Unwrap() error { return e.Err }
+
+// Submit registers spec for execution and returns its study. Submissions
+// deduplicate on study id: while a study is running — or once it has
+// finished — submitting the same spec joins the existing execution instead
+// of starting another, so two concurrent identical submissions share one
+// run. A failed or canceled study is restarted by resubmission (resuming
+// its checkpoint, re-reading its cached points). The returned status's
+// Created field reports whether this call started an execution.
+func (s *Server) Submit(spec experiment.Spec) (StudyStatus, error) {
+	norm := spec.WithDefaults()
+	if err := norm.Validate(); err != nil {
+		return StudyStatus{}, ValidationError{err}
+	}
+	id := StudyID(norm)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return StudyStatus{}, ErrDraining
+	}
+	if st, ok := s.studies[id]; ok {
+		if state := st.Status().State; state == StateRunning || state == StateDone {
+			s.mu.Unlock()
+			s.deduped.Add(1)
+			return st.Status(), nil
+		}
+	}
+	st := newStudy(id, norm)
+	s.seq++
+	st.seq = s.seq
+	s.studies[id] = st
+	s.evictTerminalLocked()
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	st.cancel = cancel
+	s.running.Add(1)
+	s.mu.Unlock()
+
+	s.submitted.Add(1)
+	s.logf("study %s (%s): submitted, %d points", id, norm.Name, st.total)
+	go s.run(ctx, st)
+
+	status := st.Status()
+	status.Created = true
+	return status, nil
+}
+
+// run executes one study to a terminal state. The per-study JSONL
+// checkpoint provides crash and cancel durability while the study is in
+// flight; once the study completes, every point is in the content-
+// addressed cache — the durable store — so the checkpoint is removed and a
+// later resubmission proves itself against the cache, point by point.
+func (s *Server) run(ctx context.Context, st *study) {
+	defer s.running.Done()
+	defer st.cancel()
+	ckpt := filepath.Join(s.cache.Dir(), "studies", st.id+".jsonl")
+	cfg := experiment.StudyConfig{
+		Parallelism: s.par,
+		Cache:       s.cache,
+		Counters:    &s.counters,
+		ResultsPath: ckpt,
+		Progress: func(done, total int, r experiment.PointResult) {
+			st.progress(done, total, r)
+		},
+	}
+	results, err := experiment.RunStudy(ctx, st.spec, cfg)
+	st.finish(results, err)
+	status := st.Status()
+	if status.State == StateDone {
+		os.Remove(ckpt) //nolint:errcheck // redundant with the cache once done
+	}
+	s.logf("study %s: %s (%d/%d points)", st.id, status.State, status.Done, status.Total)
+}
+
+// evictTerminalLocked drops the oldest terminal studies once more than
+// maxTerminalStudies of them are retained. Running studies are never
+// evicted. Call with s.mu held.
+func (s *Server) evictTerminalLocked() {
+	type victim struct {
+		id  string
+		seq uint64
+	}
+	var terminals []victim
+	for id, st := range s.studies {
+		if st.Status().State.terminal() {
+			terminals = append(terminals, victim{id, st.seq})
+		}
+	}
+	if len(terminals) <= maxTerminalStudies {
+		return
+	}
+	sort.Slice(terminals, func(i, j int) bool { return terminals[i].seq < terminals[j].seq })
+	for _, v := range terminals[:len(terminals)-maxTerminalStudies] {
+		delete(s.studies, v.id)
+	}
+}
+
+// lookup returns the study with the given id.
+func (s *Server) lookup(id string) (*study, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.studies[id]
+	return st, ok
+}
+
+// List returns the status of every known study, newest submission order
+// not guaranteed (map order); callers sort as needed.
+func (s *Server) List() []StudyStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StudyStatus, 0, len(s.studies))
+	for _, st := range s.studies {
+		out = append(out, st.Status())
+	}
+	return out
+}
+
+// Cancel cancels a running study. It reports whether the study exists;
+// canceling a finished study is a no-op.
+func (s *Server) Cancel(id string) bool {
+	st, ok := s.lookup(id)
+	if !ok {
+		return false
+	}
+	st.cancel()
+	return true
+}
+
+// RunningStudies counts studies currently executing.
+func (s *Server) RunningStudies() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, st := range s.studies {
+		if !st.Status().State.terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// Shutdown drains the server: new submissions are refused, every running
+// study's context is canceled — each flushes its JSONL checkpoint and
+// finishes as canceled, resumable by resubmission — and Shutdown returns
+// when all studies have stopped or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.baseCancel()
+	done := make(chan struct{})
+	go func() {
+		s.running.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: shutdown grace period expired: %w", ctx.Err())
+	}
+}
+
+// study is one tracked study execution.
+type study struct {
+	id     string
+	spec   experiment.Spec
+	total  int
+	seq    uint64 // submission order (Server.seq), for eviction
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	notify  chan struct{} // closed and replaced on every update
+	state   State
+	done    int
+	events  []ProgressEvent
+	results []experiment.PointResult
+	errMsg  string
+}
+
+func newStudy(id string, spec experiment.Spec) *study {
+	return &study{
+		id:     id,
+		spec:   spec,
+		total:  spec.NumPoints(),
+		notify: make(chan struct{}),
+		state:  StateRunning,
+	}
+}
+
+// Spec returns the study's normalized spec.
+func (st *study) Spec() experiment.Spec { return st.spec }
+
+// broadcast wakes every waiter; call with st.mu held.
+func (st *study) broadcast() {
+	close(st.notify)
+	st.notify = make(chan struct{})
+}
+
+// progress records one recorded point. The results slice grows in lock
+// step with the event history (points arrive strictly in grid order), so
+// Results() serves the recorded prefix of a running study — not an empty
+// set — and a canceled joiner still gets everything recorded so far.
+func (st *study) progress(done, total int, r experiment.PointResult) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.done = done
+	st.events = append(st.events, ProgressEvent{Done: done, Total: total, Point: r})
+	st.results = append(st.results, r)
+	st.broadcast()
+}
+
+// finish moves the study to its terminal state. The event history is
+// dropped: every event is derivable from the grid-order results (see
+// EventsSince), and keeping both would hold every PointResult — trajectory
+// arrays included — twice for the daemon's lifetime.
+func (st *study) finish(results []experiment.PointResult, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if results != nil {
+		st.results = results
+	}
+	// On a failure RunStudy returns nil results; the incrementally
+	// recorded prefix (from progress) stays servable.
+	st.events = nil
+	switch {
+	case err == nil:
+		st.state = StateDone
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		st.state = StateCanceled
+		st.errMsg = err.Error()
+	default:
+		st.state = StateFailed
+		st.errMsg = err.Error()
+	}
+	st.broadcast()
+}
+
+// Status returns the study's current status snapshot.
+func (st *study) Status() StudyStatus {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return StudyStatus{
+		ID:    st.id,
+		Name:  st.spec.Name,
+		State: st.state,
+		Done:  st.done,
+		Total: st.total,
+		Error: st.errMsg,
+	}
+}
+
+// Results returns the study's results so far (the recorded grid-order
+// prefix; complete when the state is done) along with the state. The
+// returned slice is a stable snapshot: progress appends only past its
+// length and finish replaces the slice wholesale.
+func (st *study) Results() (State, []experiment.PointResult) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.state, st.results[:len(st.results):len(st.results)]
+}
+
+// EventsSince returns the progress events after index from, plus the
+// current state and a channel that is closed on the next update — the
+// blocking primitive behind both the SSE stream and long-polling waiters.
+// While the study runs, events come from the live history; once it is
+// terminal the history is gone (finish drops it) and replays are
+// synthesized from the grid-order results, which record exactly the same
+// (done, total, point) sequence.
+func (st *study) EventsSince(from int) (events []ProgressEvent, state State, updated <-chan struct{}) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if st.state.terminal() {
+		for i := from; i < len(st.results); i++ {
+			events = append(events, ProgressEvent{Done: i + 1, Total: st.total, Point: st.results[i]})
+		}
+		return events, st.state, st.notify
+	}
+	if from < len(st.events) {
+		events = append(events, st.events[from:]...)
+	}
+	return events, st.state, st.notify
+}
+
+// Wait blocks until the study reaches a terminal state or ctx is done.
+func (st *study) Wait(ctx context.Context) State {
+	for {
+		_, state, updated := st.EventsSince(0)
+		if state.terminal() {
+			return state
+		}
+		select {
+		case <-updated:
+		case <-ctx.Done():
+			_, state, _ := st.EventsSince(0)
+			return state
+		}
+	}
+}

@@ -38,7 +38,20 @@ type RunConfig struct {
 	// The windowed time-series instruments hook it to close measurement
 	// windows and sample backlog at window boundaries.
 	OnSlot func(t Slot)
+	// Cancel, when non-nil, makes Run return early — with the counts
+	// accumulated so far — once a receive from it succeeds (e.g. a closed
+	// context.Done channel). The channel is polled every cancelCheckSlots
+	// slots, keeping the per-slot hot path free of channel operations, so
+	// cancellation latency is bounded by cancelCheckSlots slot executions.
+	// Callers distinguish a canceled run from a finished one by checking
+	// their context, not the returned counts.
+	Cancel <-chan struct{}
 }
+
+// cancelCheckSlots is how often Run polls RunConfig.Cancel. At ~1µs/slot
+// for a large switch this bounds cancellation latency to a few
+// milliseconds while costing one predictable branch per slot.
+const cancelCheckSlots = 1024
 
 // Run drives sw with arrivals from src for cfg.Warmup+cfg.Slots slots.
 // Deliveries of packets that arrived at slot >= cfg.Warmup are forwarded to
@@ -78,6 +91,13 @@ func Run(sw Switch, src Source, cfg RunConfig, obs Observer) (offered, delivered
 		sw.Arrive(p)
 	}
 	for t := Slot(0); t < total; t++ {
+		if cfg.Cancel != nil && t%cancelCheckSlots == 0 {
+			select {
+			case <-cfg.Cancel:
+				return offered, delivered
+			default:
+			}
+		}
 		src.Next(t, arrive)
 		sw.Step(deliver)
 		if cfg.OnSlot != nil {
