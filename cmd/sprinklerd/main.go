@@ -10,15 +10,35 @@
 //
 //	sprinklerd [-listen 127.0.0.1:8356] [-cache sprinklerd-cache] [-par N]
 //	           [-grace 30s]
+//	           [-coordinator] [-workers URL,URL,...] [-lease 2m]
+//	           [-heartbeat 1s] [-join URL] [-advertise URL]
+//	           [-cache-max-bytes N] [-evict-policy lru|fifo|large_first]
+//	           [-sweep-interval 1m]
+//
+// Cluster mode (see the README's Cluster section): with -coordinator the
+// daemon shards each study's replica jobs across the -workers fleet under
+// leases, retries transient failures with capped backoff, re-dispatches
+// the jobs of a dead worker to healthy peers, and — with every worker down
+// — degrades to local execution (reported by /healthz and /metrics). A
+// worker is just a plain daemon; -join makes it announce itself to a
+// coordinator and heartbeat, so fleets can also grow dynamically.
+//
+// With -cache-max-bytes the result cache is bounded on disk: a background
+// sweeper evicts entries under -evict-policy every -sweep-interval until
+// the cache fits.
 //
 // Endpoints (see README for the full API):
 //
 //	POST /api/v1/studies            submit a spec
 //	GET  /api/v1/studies/{id}       status; /events streams progress (SSE);
 //	     /results and /render serve the output; /cancel stops it
+//	POST /api/v1/jobs               execute one leased (point, replica) job
+//	GET  /api/v1/cas/{key}          raw cache entry (peer cache fill)
+//	POST /api/v1/cluster/register   worker registration (also /heartbeat)
 //	GET  /api/v1/catalog            registered architectures/workloads/
 //	     scenarios with their option schemas
-//	GET  /healthz, GET /metrics     liveness and Prometheus-style counters
+//	GET  /healthz, GET /metrics     liveness ("ok" or "degraded") and
+//	     Prometheus-style counters
 //
 // On SIGINT/SIGTERM the daemon drains: running studies are canceled, each
 // flushes its JSONL checkpoint (resumable by resubmitting the same spec),
@@ -32,9 +52,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"sprinklers/internal/cluster"
+	"sprinklers/internal/resultcache"
 	"sprinklers/internal/service"
 )
 
@@ -43,22 +66,75 @@ func main() {
 	cacheDir := flag.String("cache", "sprinklerd-cache", "content-addressed result cache directory (also holds per-study checkpoints)")
 	par := flag.Int("par", 0, "per-study worker parallelism (default GOMAXPROCS)")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for draining studies")
+	coordinator := flag.Bool("coordinator", false, "run as a cluster coordinator, dispatching replica jobs to -workers")
+	workers := flag.String("workers", "", "comma-separated worker base URLs (implies -coordinator)")
+	lease := flag.Duration("lease", 2*time.Minute, "per-job lease: a worker must finish a replica within it")
+	heartbeat := flag.Duration("heartbeat", time.Second, "worker heartbeat/probe interval")
+	join := flag.String("join", "", "coordinator URL to register with and heartbeat to (worker mode)")
+	advertise := flag.String("advertise", "", "base URL this worker advertises to the coordinator (default http://<listen>)")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "bound the result cache on disk; 0 = unbounded")
+	evictPolicy := flag.String("evict-policy", "lru", "cache eviction policy: lru, fifo, or large_first")
+	sweepInterval := flag.Duration("sweep-interval", time.Minute, "how often the cache sweeper enforces -cache-max-bytes")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "sprinklerd: ", log.LstdFlags)
+	policy, err := resultcache.ParsePolicy(*evictPolicy)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	ctx, stopTasks := context.WithCancel(context.Background())
+	defer stopTasks()
+
+	var coord *cluster.Coordinator
+	if *coordinator || *workers != "" {
+		var urls []string
+		for _, u := range strings.Split(*workers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		coord = cluster.New(cluster.Options{
+			Workers:           urls,
+			Lease:             *lease,
+			HeartbeatInterval: *heartbeat,
+			Logf:              logger.Printf,
+		})
+		coord.Start(ctx)
+	}
+
 	srv, err := service.New(service.Options{
-		CacheDir:    *cacheDir,
-		Parallelism: *par,
-		Logf:        logger.Printf,
+		CacheDir:      *cacheDir,
+		Parallelism:   *par,
+		Logf:          logger.Printf,
+		Cluster:       coord,
+		CacheMaxBytes: *cacheMax,
+		EvictPolicy:   policy,
+		SweepInterval: *sweepInterval,
 	})
 	if err != nil {
 		logger.Fatal(err)
 	}
 
+	if *join != "" {
+		self := *advertise
+		if self == "" {
+			self = "http://" + *listen
+		}
+		go service.JoinCluster(ctx, strings.TrimSuffix(*join, "/"), self, *heartbeat, logger.Printf)
+	}
+
 	httpServer := &http.Server{Addr: *listen, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on http://%s (cache %s)", *listen, *cacheDir)
+		mode := "standalone"
+		switch {
+		case coord != nil:
+			mode = "coordinator"
+		case *join != "":
+			mode = "worker"
+		}
+		logger.Printf("listening on http://%s (cache %s, %s)", *listen, *cacheDir, mode)
 		errCh <- httpServer.ListenAndServe()
 	}()
 
@@ -71,10 +147,11 @@ func main() {
 	}
 
 	logger.Printf("shutting down: draining studies (grace %s)", *grace)
-	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	stopTasks() // heartbeats and cluster membership stop with the studies
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
-	drainErr := srv.Shutdown(ctx)
-	if err := httpServer.Shutdown(ctx); err != nil && drainErr == nil {
+	drainErr := srv.Shutdown(shutCtx)
+	if err := httpServer.Shutdown(shutCtx); err != nil && drainErr == nil {
 		drainErr = err
 	}
 	if drainErr != nil {

@@ -1,0 +1,366 @@
+// The chaos suite: every test runs a real coordinator daemon against real
+// worker daemons (httptest servers over the actual HTTP surface), injects
+// a fault — a worker killed mid-replica, transport errors on dispatch, a
+// fleet entirely down, a coordinator restart mid-study — and asserts the
+// two invariants the cluster exists to hold:
+//
+//  1. The study completes with results byte-identical to a fault-free
+//     single-node run.
+//  2. No replica is ever simulated twice: the sum of ReplicasComputed
+//     across every node equals points x replicas exactly.
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sprinklers/internal/cluster"
+	"sprinklers/internal/experiment"
+	"sprinklers/internal/faultinject"
+	"sprinklers/internal/service"
+)
+
+func testSpec(name string) experiment.Spec {
+	return experiment.Spec{
+		Name:       name,
+		Kind:       experiment.SimStudy,
+		Algorithms: experiment.Algs(experiment.Sprinklers, experiment.LoadBalanced),
+		Traffic:    experiment.Traffics(experiment.UniformTraffic),
+		Loads:      []float64{0.3, 0.6},
+		Sizes:      []int{8},
+		Replicas:   2,
+		Slots:      1_000,
+		Seed:       1,
+	}
+}
+
+// totalReplicas is the job count of a spec: points x replicas.
+func totalReplicas(spec experiment.Spec) int64 {
+	return int64(spec.WithDefaults().NumPoints() * spec.WithDefaults().Replicas)
+}
+
+// node is one daemon: the server core plus its HTTP front.
+type node struct {
+	srv *service.Server
+	ts  *httptest.Server
+}
+
+func (n *node) url() string { return n.ts.URL }
+
+func newNode(t *testing.T, opts service.Options) *node {
+	t.Helper()
+	if opts.CacheDir == "" {
+		opts.CacheDir = t.TempDir()
+	}
+	srv, err := service.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck
+	})
+	return &node{srv: srv, ts: ts}
+}
+
+// fastOptions are cluster timings scaled for tests: tight heartbeats and
+// backoffs so suspicion and failover land in milliseconds.
+func fastOptions(workers ...string) cluster.Options {
+	return cluster.Options{
+		Workers:           workers,
+		Lease:             30 * time.Second,
+		HeartbeatInterval: 25 * time.Millisecond,
+		SuspectAfter:      2,
+		BaseBackoff:       2 * time.Millisecond,
+		MaxBackoff:        20 * time.Millisecond,
+		Seed:              7,
+	}
+}
+
+// newCoordinator assembles a coordinator daemon over the given cluster
+// options and starts its health loop.
+func newCoordinator(t *testing.T, copts cluster.Options, sopts service.Options) (*node, *cluster.Coordinator) {
+	t.Helper()
+	coord := cluster.New(copts)
+	sopts.Cluster = coord
+	n := newNode(t, sopts)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	coord.Start(ctx)
+	return n, coord
+}
+
+// localReference runs spec in-process — the byte-identity oracle.
+func localReference(t *testing.T, spec experiment.Spec) []byte {
+	t.Helper()
+	results, err := experiment.RunStudy(context.Background(), spec, experiment.StudyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := json.Marshal(results)
+	return b
+}
+
+// runRemote runs spec through the coordinator and returns the marshaled
+// results.
+func runRemote(t *testing.T, coordinator *node, spec experiment.Spec) []byte {
+	t.Helper()
+	client := &service.Client{BaseURL: coordinator.url()}
+	results, err := client.Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := json.Marshal(results)
+	return b
+}
+
+// replicasComputedAcross sums ReplicasComputed over the given nodes.
+func replicasComputedAcross(nodes ...*node) int64 {
+	var sum int64
+	for _, n := range nodes {
+		sum += n.srv.Counters().ReplicasComputed.Load()
+	}
+	return sum
+}
+
+// TestClusterMatchesLocalByteIdentical: a fault-free cluster run returns
+// exactly the bytes of a local run, all replicas run on workers (none on
+// the coordinator), and no replica runs twice.
+func TestClusterMatchesLocalByteIdentical(t *testing.T) {
+	w1 := newNode(t, service.Options{})
+	w2 := newNode(t, service.Options{})
+	coordinator, coord := newCoordinator(t, fastOptions(w1.url(), w2.url()), service.Options{})
+	spec := testSpec("cluster-identity")
+
+	remote := runRemote(t, coordinator, spec)
+	if local := localReference(t, spec); !bytes.Equal(remote, local) {
+		t.Errorf("cluster results differ from local:\n%s\nvs\n%s", remote, local)
+	}
+
+	want := totalReplicas(spec)
+	if got := replicasComputedAcross(w1, w2); got != want {
+		t.Errorf("workers computed %d replicas, want %d", got, want)
+	}
+	if got := coordinator.srv.Counters().ReplicasComputed.Load(); got != 0 {
+		t.Errorf("coordinator computed %d replicas locally, want 0", got)
+	}
+	if got := coordinator.srv.Counters().JobsDispatched.Load(); got < want {
+		t.Errorf("JobsDispatched = %d, want >= %d", got, want)
+	}
+	if s := coord.Snapshot(); s.WorkersHealthy != 2 || s.WorkersTotal != 2 {
+		t.Errorf("worker counts = %+v, want 2/2", s)
+	}
+}
+
+// TestWorkerCrashMidReplicaFailsOver: one worker is killed at an exact
+// simulation slot mid-replica (and stays dead — every later connection to
+// it is severed, heartbeats included). The study must still complete
+// byte-identical, the lost job must move to the surviving worker, and the
+// crashed (incomplete) replica must be the ONLY one recomputed: the total
+// computed across all nodes stays exactly points x replicas.
+func TestWorkerCrashMidReplicaFailsOver(t *testing.T) {
+	plan := faultinject.NewPlan(1).CrashWorkerAt(2, 150)
+	w1 := newNode(t, service.Options{Fault: plan})
+	w2 := newNode(t, service.Options{})
+	coordinator, coord := newCoordinator(t, fastOptions(w1.url(), w2.url()), service.Options{})
+	spec := testSpec("cluster-crash")
+
+	remote := runRemote(t, coordinator, spec)
+	if local := localReference(t, spec); !bytes.Equal(remote, local) {
+		t.Errorf("results after worker crash differ from local:\n%s\nvs\n%s", remote, local)
+	}
+	if !plan.Dead() {
+		t.Fatal("the scheduled crash never fired")
+	}
+	c := coordinator.srv.Counters()
+	if got := c.JobsRetried.Load(); got == 0 {
+		t.Error("JobsRetried = 0, want > 0 after a worker death")
+	}
+	if got := c.JobsRedispatched.Load(); got == 0 {
+		t.Error("JobsRedispatched = 0, want > 0: the crashed job must move to the surviving worker")
+	}
+	want := totalReplicas(spec)
+	if got := replicasComputedAcross(coordinator, w1, w2); got != want {
+		t.Errorf("computed %d replicas across the cluster, want exactly %d (no duplicate simulation)", got, want)
+	}
+	if s := coord.Snapshot(); s.WorkersHealthy != 1 {
+		t.Errorf("healthy workers = %d, want 1 after the crash", s.WorkersHealthy)
+	}
+}
+
+// TestInjectedTransportErrorsAreRetried: every other dispatch dies with an
+// injected connection error. Retries (with backoff) must absorb all of it:
+// same bytes, no duplicate simulation.
+func TestInjectedTransportErrorsAreRetried(t *testing.T) {
+	plan := faultinject.NewPlan(3).FailEveryNth(2)
+	copts := fastOptions() // workers added below; transport wraps dispatches only
+	copts.Transport = &faultinject.Transport{
+		Plan:  plan,
+		Match: func(r *http.Request) bool { return strings.HasSuffix(r.URL.Path, "/api/v1/jobs") },
+	}
+	w1 := newNode(t, service.Options{})
+	w2 := newNode(t, service.Options{})
+	copts.Workers = []string{w1.url(), w2.url()}
+	coordinator, _ := newCoordinator(t, copts, service.Options{})
+	spec := testSpec("cluster-flaky-transport")
+
+	remote := runRemote(t, coordinator, spec)
+	if local := localReference(t, spec); !bytes.Equal(remote, local) {
+		t.Errorf("results under transport faults differ from local:\n%s\nvs\n%s", remote, local)
+	}
+	if plan.Injected() == 0 {
+		t.Fatal("no faults were injected; the test exercised nothing")
+	}
+	c := coordinator.srv.Counters()
+	if got := c.JobsRetried.Load(); got == 0 {
+		t.Error("JobsRetried = 0, want > 0 under injected dispatch faults")
+	}
+	want := totalReplicas(spec)
+	if got := replicasComputedAcross(coordinator, w1, w2); got != want {
+		t.Errorf("computed %d replicas, want exactly %d", got, want)
+	}
+}
+
+// TestAllWorkersDownDegradesToLocal: with the whole fleet unreachable the
+// coordinator must finish the study in-process, report itself degraded on
+// /healthz, and still produce identical bytes.
+func TestAllWorkersDownDegradesToLocal(t *testing.T) {
+	dead1 := httptest.NewServer(http.NotFoundHandler())
+	dead2 := httptest.NewServer(http.NotFoundHandler())
+	u1, u2 := dead1.URL, dead2.URL
+	dead1.Close()
+	dead2.Close()
+
+	copts := fastOptions(u1, u2)
+	copts.SuspectAfter = 1
+	copts.MaxAttempts = 2
+	coordinator, coord := newCoordinator(t, copts, service.Options{})
+	spec := testSpec("cluster-degraded")
+
+	remote := runRemote(t, coordinator, spec)
+	if local := localReference(t, spec); !bytes.Equal(remote, local) {
+		t.Errorf("degraded-mode results differ from local:\n%s\nvs\n%s", remote, local)
+	}
+	if !coord.Degraded() {
+		t.Error("Degraded() = false with every worker down")
+	}
+	c := coordinator.srv.Counters()
+	want := totalReplicas(spec)
+	if got := c.LocalFallbacks.Load(); got != want {
+		t.Errorf("LocalFallbacks = %d, want %d: every job must fall back locally", got, want)
+	}
+	if got := replicasComputedAcross(coordinator); got != want {
+		t.Errorf("coordinator computed %d replicas, want %d", got, want)
+	}
+
+	resp, err := http.Get(coordinator.url() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := strings.TrimSpace(string(body)); got != "degraded" {
+		t.Errorf("healthz = %q, want %q", got, "degraded")
+	}
+}
+
+// TestCoordinatorRestartMidStudyResumesWithoutRecompute: the coordinator
+// is stopped mid-study (canceling the run with its checkpoint flushed) and
+// a NEW coordinator daemon over the same cache directory takes over. The
+// resubmitted study must complete byte-identical, and across the whole
+// ordeal — first coordinator, second coordinator, both workers — each
+// replica must have been simulated exactly once: completed points resume
+// from the checkpoint, completed replicas of interrupted points resurface
+// from worker caches via the replica-envelope read path.
+func TestCoordinatorRestartMidStudyResumesWithoutRecompute(t *testing.T) {
+	w1 := newNode(t, service.Options{})
+	w2 := newNode(t, service.Options{})
+	cacheDir := t.TempDir()
+	spec := testSpec("cluster-coord-restart")
+	spec.Slots = 4_000 // long enough to interrupt
+
+	first, _ := newCoordinator(t, fastOptions(w1.url(), w2.url()), service.Options{CacheDir: cacheDir})
+	client := &service.Client{BaseURL: first.url()}
+	ctx := context.Background()
+	status, err := client.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for at least one recorded point, then tear the coordinator down.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := client.Status(ctx, status.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Done >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("study made no progress before the deadline")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	shutCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	if err := first.srv.Shutdown(shutCtx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	first.ts.Close()
+
+	second, _ := newCoordinator(t, fastOptions(w1.url(), w2.url()), service.Options{CacheDir: cacheDir})
+	remote := runRemote(t, second, spec)
+	if local := localReference(t, spec); !bytes.Equal(remote, local) {
+		t.Errorf("post-restart results differ from local:\n%s\nvs\n%s", remote, local)
+	}
+	want := totalReplicas(spec)
+	if got := replicasComputedAcross(first, second, w1, w2); got != want {
+		t.Errorf("computed %d replicas across both coordinator lives, want exactly %d (no duplicate simulation)", got, want)
+	}
+}
+
+// TestWorkerRejoinsAfterRegister: a worker marked suspect is revived by
+// push registration (the -join flow), and new studies use it again.
+func TestWorkerRejoinsAfterRegister(t *testing.T) {
+	w1 := newNode(t, service.Options{})
+	copts := fastOptions(w1.url())
+	copts.HeartbeatInterval = time.Hour // no probe loop: only explicit registration revives
+	coordinator, coord := newCoordinator(t, copts, service.Options{})
+
+	// Knock the worker out by URL swap: suspect it via failed dispatches.
+	w1.ts.Close()
+	spec := testSpec("cluster-rejoin-1")
+	runRemote(t, coordinator, spec) // completes via local fallback
+	if s := coord.Snapshot(); s.WorkersHealthy != 0 {
+		t.Fatalf("healthy = %d, want 0 after the worker died", s.WorkersHealthy)
+	}
+
+	// A fresh worker registers over HTTP (what JoinCluster posts).
+	w2 := newNode(t, service.Options{})
+	body := strings.NewReader(`{"url":"` + w2.url() + `"}`)
+	resp, err := http.Post(coordinator.url()+"/api/v1/cluster/register", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if s := coord.Snapshot(); s.WorkersHealthy != 1 || s.WorkersTotal != 2 {
+		t.Fatalf("after register: %+v, want 1 healthy of 2", s)
+	}
+
+	spec2 := testSpec("cluster-rejoin-2")
+	spec2.Seed = 42 // physically distinct: the first study's cache must not cover it
+	runRemote(t, coordinator, spec2)
+	if got := w2.srv.Counters().ReplicasComputed.Load(); got != totalReplicas(spec2) {
+		t.Errorf("rejoined worker computed %d replicas, want %d", got, totalReplicas(spec2))
+	}
+}

@@ -18,6 +18,14 @@ type PointCache interface {
 	Put(key string, val []byte) error
 }
 
+// Quarantiner is optionally implemented by a PointCache that can set aside
+// a corrupt entry (one that failed envelope or identity validation on
+// read) instead of leaving it to poison every future lookup.
+// *resultcache.Store implements it by moving the entry to cache/corrupt/.
+type Quarantiner interface {
+	Quarantine(key string) error
+}
+
 // Counters accumulates the work and cache metrics of every study run
 // against it. All fields are atomic so one Counters can be shared by
 // concurrent studies and scraped while they run; the daemon exposes a
@@ -43,6 +51,24 @@ type Counters struct {
 	SlotsSimulated atomic.Int64
 	// StudiesRun counts RunStudy invocations.
 	StudiesRun atomic.Int64
+	// CacheCorrupt counts cache entries that failed envelope or identity
+	// validation on read and were treated as misses (and quarantined,
+	// when the cache supports it).
+	CacheCorrupt atomic.Int64
+	// JobsDispatched, JobsRetried and JobsRedispatched account cluster-mode
+	// replica jobs: dispatches attempted, retries after a transient
+	// failure, and retries that moved the job to a different worker after
+	// its original holder was marked suspect.
+	JobsDispatched   atomic.Int64
+	JobsRetried      atomic.Int64
+	JobsRedispatched atomic.Int64
+	// PeerCacheFills counts results obtained from a sibling node's cache
+	// instead of simulation (point-level fills by the coordinator plus
+	// replica-level fills reported by workers).
+	PeerCacheFills atomic.Int64
+	// LocalFallbacks counts replica jobs the coordinator ran in-process
+	// because no healthy worker was available (degraded mode).
+	LocalFallbacks atomic.Int64
 }
 
 // CounterSnapshot is a plain-value copy of a Counters, for JSON responses
@@ -54,6 +80,12 @@ type CounterSnapshot struct {
 	ReplicasComputed int64 `json:"replicas_computed"`
 	SlotsSimulated   int64 `json:"slots_simulated"`
 	StudiesRun       int64 `json:"studies_run"`
+	CacheCorrupt     int64 `json:"cache_corrupt,omitempty"`
+	JobsDispatched   int64 `json:"jobs_dispatched,omitempty"`
+	JobsRetried      int64 `json:"jobs_retried,omitempty"`
+	JobsRedispatched int64 `json:"jobs_redispatched,omitempty"`
+	PeerCacheFills   int64 `json:"peer_cache_fills,omitempty"`
+	LocalFallbacks   int64 `json:"local_fallbacks,omitempty"`
 }
 
 // Snapshot returns a consistent-enough copy of the counters (each field is
@@ -66,6 +98,12 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		ReplicasComputed: c.ReplicasComputed.Load(),
 		SlotsSimulated:   c.SlotsSimulated.Load(),
 		StudiesRun:       c.StudiesRun.Load(),
+		CacheCorrupt:     c.CacheCorrupt.Load(),
+		JobsDispatched:   c.JobsDispatched.Load(),
+		JobsRetried:      c.JobsRetried.Load(),
+		JobsRedispatched: c.JobsRedispatched.Load(),
+		PeerCacheFills:   c.PeerCacheFills.Load(),
+		LocalFallbacks:   c.LocalFallbacks.Load(),
 	}
 }
 
@@ -121,6 +159,42 @@ func encodeCachedPoint(id resultcache.Identity, rec PointResult) []byte {
 		panic("experiment: cached point not marshalable: " + err.Error())
 	}
 	return b
+}
+
+// cachedReplica is the envelope cluster workers store per completed
+// replica: the identity and replica index are echoed next to the
+// measurements so a corrupt or misaddressed entry is detected on read.
+// Replica envelopes are what make worker failover lose at most one
+// in-flight replica — every completed replica is re-findable by
+// Identity.ReplicaKey from any node's cache.
+type cachedReplica struct {
+	Identity resultcache.Identity `json:"identity"`
+	Rep      int                  `json:"rep"`
+	Point    Point                `json:"point"`
+}
+
+// EncodeCachedReplica marshals one replica's envelope for storage under
+// id.ReplicaKey(rep).
+func EncodeCachedReplica(id resultcache.Identity, rep int, p Point) []byte {
+	b, err := json.Marshal(cachedReplica{Identity: id, Rep: rep, Point: p})
+	if err != nil {
+		panic("experiment: cached replica not marshalable: " + err.Error())
+	}
+	return b
+}
+
+// DecodeCachedReplica validates a replica envelope against the identity
+// and replica index it was addressed by. A mismatched or unparsable entry
+// reports ok == false and must be treated as a miss (and quarantined).
+func DecodeCachedReplica(b []byte, id resultcache.Identity, rep int) (Point, bool) {
+	var env cachedReplica
+	if err := json.Unmarshal(b, &env); err != nil {
+		return Point{}, false
+	}
+	if env.Rep != rep || !reflect.DeepEqual(env.Identity, id) {
+		return Point{}, false
+	}
+	return env.Point, true
 }
 
 // decodeCachedPoint validates a cache entry against the identity it was

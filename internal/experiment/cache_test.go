@@ -270,3 +270,68 @@ func TestCheckpointVersionMismatch(t *testing.T) {
 		}
 	}
 }
+
+// TestCorruptCacheEntryQuarantinedNotFatal: a truncated or garbage cache
+// entry must read as a miss — quarantined, counted, recomputed — and the
+// study must complete byte-identical to an uncorrupted run.
+func TestCorruptCacheEntryQuarantinedNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	store, err := resultcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cacheSpec()
+	var ctr Counters
+	clean, err := RunStudy(context.Background(), spec, StudyConfig{Cache: store, Counters: &ctr})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt one entry in place (a torn write), truncate another to zero
+	// (a crash mid-rename survivor), and leave the rest intact.
+	norm := spec.WithDefaults()
+	keys := norm.Points()
+	garbled := norm.PointIdentity(keys[0]).Key()
+	if err := store.Put(garbled, []byte(`{"identity":{"torn`)); err != nil {
+		t.Fatal(err)
+	}
+	truncated := norm.PointIdentity(keys[1]).Key()
+	if err := store.Put(truncated, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	again, err := RunStudy(context.Background(), spec, StudyConfig{Cache: store, Counters: &ctr})
+	if err != nil {
+		t.Fatalf("corrupt cache entries failed the study: %v", err)
+	}
+	if !reflect.DeepEqual(marshalResults(t, clean), marshalResults(t, again)) {
+		t.Error("results after corruption differ from the clean run")
+	}
+	if got := ctr.CacheCorrupt.Load(); got != 2 {
+		t.Errorf("CacheCorrupt = %d, want 2", got)
+	}
+	if got := store.Corrupts(); got != 2 {
+		t.Errorf("store quarantined %d entries, want 2", got)
+	}
+	// The bad bytes are preserved for post-mortem; the keys themselves now
+	// hold the recomputed (valid) entries.
+	for _, key := range []string{garbled, truncated} {
+		if _, err := os.Stat(filepath.Join(dir, "corrupt", key+".json")); err != nil {
+			t.Errorf("quarantined entry %s not preserved in corrupt/: %v", key, err)
+		}
+		b, ok, err := store.Get(key)
+		if err != nil || !ok {
+			t.Errorf("recomputed entry %s not re-stored: ok=%v err=%v", key, ok, err)
+		} else if !json.Valid(b) {
+			t.Errorf("re-stored entry %s is not valid JSON", key)
+		}
+	}
+	// The recomputed points were re-stored; a third run is a pure read.
+	var third Counters
+	if _, err := RunStudy(context.Background(), spec, StudyConfig{Cache: store, Counters: &third}); err != nil {
+		t.Fatal(err)
+	}
+	if got := third.ReplicasComputed.Load(); got != 0 {
+		t.Errorf("third run recomputed %d replicas, want 0", got)
+	}
+}

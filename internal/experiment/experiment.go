@@ -195,6 +195,10 @@ type Config struct {
 	Windows int
 	// Parallelism bounds concurrent points; 0 means GOMAXPROCS.
 	Parallelism int
+	// OnSlot, when non-nil, is invoked once per simulated slot. It exists
+	// for fault-injection harnesses that need to act at an exact slot
+	// (e.g. crash a cluster worker at slot N); leave it nil on hot paths.
+	OnSlot func(sim.Slot)
 	// Cancel, when non-nil, aborts an in-flight point early (typically a
 	// context's Done channel). RunPoint then returns context.Canceled
 	// instead of a partial measurement. RunStudy wires its context's Done
@@ -258,7 +262,7 @@ func RunPoint(alg Algorithm, cfg Config, load float64) (Point, error) {
 	delay := &stats.Delay{}
 	reorder := stats.NewReorder(cfg.N)
 	offered, delivered := sim.Run(sw, src,
-		sim.RunConfig{Warmup: cfg.Warmup, Slots: cfg.Slots, Cancel: cfg.Cancel},
+		sim.RunConfig{Warmup: cfg.Warmup, Slots: cfg.Slots, OnSlot: cfg.OnSlot, Cancel: cfg.Cancel},
 		stats.Multi{delay, reorder})
 	if canceled(cfg.Cancel) {
 		return Point{}, context.Canceled
@@ -297,6 +301,7 @@ func runScenarioPoint(alg Algorithm, cfg Config, load float64) (Point, error) {
 		Warmup:          cfg.Warmup,
 		Windows:         cfg.Windows,
 		Seed:            cfg.Seed,
+		OnSlot:          cfg.OnSlot,
 		Cancel:          cfg.Cancel,
 	})
 	if errors.Is(err, scenario.ErrCanceled) {

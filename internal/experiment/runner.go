@@ -11,6 +11,7 @@ import (
 	"sprinklers/internal/bound"
 	"sprinklers/internal/markov"
 	"sprinklers/internal/resultcache"
+	"sprinklers/internal/sim"
 	"sprinklers/internal/stats"
 )
 
@@ -83,6 +84,15 @@ type StudyConfig struct {
 	// Counters, when set, accumulates cache and work metrics across
 	// studies (the daemon scrapes one process-wide Counters at /metrics).
 	Counters *Counters
+	// ReplicaRunner, when set, delegates each (point, replica) simulation
+	// job instead of running it in-process — the hook cluster mode hangs
+	// off: the coordinator's runner dispatches the job to a worker daemon
+	// under a lease, retries transient failures, and falls back to local
+	// execution with every worker down. Everything else (grid order,
+	// checkpointing, the cache pre-pass, aggregation, the Put of the
+	// aggregated point) is unchanged, which is what makes a cluster run
+	// byte-identical to a local one. Sim studies only.
+	ReplicaRunner func(ctx context.Context, spec Spec, key PointKey, rep int) (Point, error)
 }
 
 // replicaSeed derives the seed for one replica of one grid point from the
@@ -107,10 +117,29 @@ func replicaSeed(base int64, fp uint64, rep int) int64 {
 	return s
 }
 
+// RunReplicaJob executes one (point, replica) simulation job of a
+// normalized spec — the unit of work a cluster worker performs on behalf
+// of a coordinator. The replica seed derives from the point's content
+// fingerprint, so the same job computes the same Point on any node.
+// onSlot, when non-nil, is invoked once per simulated slot (fault
+// injection's crash-at-slot hook). Completed replicas are counted on ctr;
+// aborted ones are not.
+func RunReplicaJob(ctx context.Context, spec Spec, key PointKey, rep int, ctr *Counters, onSlot func(sim.Slot)) (Point, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return Point{}, err
+	}
+	if spec.Kind != SimStudy {
+		return Point{}, fmt.Errorf("experiment: replica jobs are sim-only, got kind %q", spec.Kind)
+	}
+	fp := spec.PointIdentity(key).SeedFingerprint()
+	return runReplica(ctx, spec, fp, key, rep, ctr, onSlot)
+}
+
 // runReplica executes one (point, replica) simulation job. The point key
 // carries series labels; the spec entries resolve them back to registered
 // names and option assignments. ctx aborts the slot loop mid-replica.
-func runReplica(ctx context.Context, spec Spec, fp uint64, key PointKey, rep int, ctr *Counters) (Point, error) {
+func runReplica(ctx context.Context, spec Spec, fp uint64, key PointKey, rep int, ctr *Counters, onSlot func(sim.Slot)) (Point, error) {
 	alg := spec.algEntry(key.Algorithm)
 	tk := spec.trafficEntry(key.Traffic)
 	cfg := Config{
@@ -124,6 +153,7 @@ func runReplica(ctx context.Context, spec Spec, fp uint64, key PointKey, rep int
 		TrafficOptions: tk.Options,
 		Windows:        spec.Windows,
 		Parallelism:    1, // RunPoint is single-threaded; pool-level parallelism only
+		OnSlot:         onSlot,
 		Cancel:         ctx.Done(),
 	}
 	if key.Scenario != "" {
@@ -351,6 +381,18 @@ func RunStudy(ctx context.Context, spec Spec, cfg StudyConfig) ([]PointResult, e
 					}
 					continue
 				}
+				// A present-but-invalid entry — a torn write surviving a
+				// kill -9, bit rot, a hash collision — is a miss, never a
+				// failed study: quarantine it for the post-mortem and
+				// recompute the point.
+				if q, canQuarantine := cfg.Cache.(Quarantiner); canQuarantine {
+					if qerr := q.Quarantine(ids[pi].Key()); qerr != nil {
+						return nil, fmt.Errorf("experiment: quarantining corrupt cache entry: %w", qerr)
+					}
+				}
+				if cfg.Counters != nil {
+					cfg.Counters.CacheCorrupt.Add(1)
+				}
 			}
 			if cfg.Counters != nil {
 				cfg.Counters.CacheMisses.Add(1)
@@ -399,8 +441,10 @@ func RunStudy(ctx context.Context, spec Spec, cfg StudyConfig) ([]PointResult, e
 					// A canceled study drains its queued jobs as errors
 					// instead of burning simulation time on them.
 					ro.err = ctx.Err()
+				case spec.Kind == SimStudy && cfg.ReplicaRunner != nil:
+					ro.p, ro.err = cfg.ReplicaRunner(ctx, spec, keys[jb.pi], jb.rep)
 				case spec.Kind == SimStudy:
-					ro.p, ro.err = runReplica(ctx, spec, fps[jb.pi], keys[jb.pi], jb.rep, cfg.Counters)
+					ro.p, ro.err = runReplica(ctx, spec, fps[jb.pi], keys[jb.pi], jb.rep, cfg.Counters, nil)
 				default:
 					ro.rec = analyticPoint(spec.Kind, keys[jb.pi])
 				}

@@ -1,0 +1,155 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// client returns an http.Client whose transport injects plan faults.
+func client(p *Plan) *http.Client {
+	return &http.Client{Transport: &Transport{Plan: p}}
+}
+
+func TestFailFirstRequestsInjectsConnectionErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	p := NewPlan(7).FailFirstRequests(2)
+	c := client(p)
+	for i := 0; i < 2; i++ {
+		_, err := c.Get(ts.URL)
+		if err == nil {
+			t.Fatalf("request %d: want injected error, got nil", i)
+		}
+		if !errors.Is(err, syscall.ECONNREFUSED) {
+			t.Fatalf("request %d: want ECONNREFUSED in chain, got %v", i, err)
+		}
+	}
+	resp, err := c.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("third request should pass: %v", err)
+	}
+	resp.Body.Close()
+	if got := p.Injected(); got != 2 {
+		t.Fatalf("Injected() = %d, want 2", got)
+	}
+}
+
+func TestFailWithProbabilityIsDeterministic(t *testing.T) {
+	decide := func(seed int64) []bool {
+		p := NewPlan(seed).FailWithProbability(0.5)
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = p.nextRequest().fail
+		}
+		return out
+	}
+	a, b := decide(42), decide(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+	}
+	c := decide(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical decision sequences")
+	}
+}
+
+func TestCutResponseBodyFailsMidStream(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("x", 1024))
+	}))
+	defer ts.Close()
+
+	p := NewPlan(1).CutResponseBody(1, 100)
+	resp, err := client(p).Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("want mid-stream error, read %d bytes cleanly", len(b))
+	}
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("want ECONNRESET in chain, got %v", err)
+	}
+	if len(b) != 100 {
+		t.Fatalf("read %d bytes before the cut, want 100", len(b))
+	}
+}
+
+func TestCrashWorkerAtSlotFiresOnceAndGoesDead(t *testing.T) {
+	p := NewPlan(1).CrashWorkerAt(2, 3)
+	if c := p.JobStarted(); c != nil {
+		t.Fatal("job 1 should not crash")
+	}
+	c := p.JobStarted()
+	if c == nil {
+		t.Fatal("job 2 should carry a crash controller")
+	}
+	select {
+	case <-c.Done():
+		t.Fatal("crash fired before the scheduled slot")
+	default:
+	}
+	c.OnSlot(0)
+	c.OnSlot(1)
+	if p.Dead() {
+		t.Fatal("dead before slot 3")
+	}
+	c.OnSlot(2)
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("crash did not fire at slot 3")
+	}
+	if !p.Dead() {
+		t.Fatal("plan not dead after crash")
+	}
+	// Every job after death crashes on entry.
+	c2 := p.JobStarted()
+	if c2 == nil {
+		t.Fatal("dead plan returned nil crash")
+	}
+	select {
+	case <-c2.Done():
+	default:
+		t.Fatal("post-death job did not crash on entry")
+	}
+}
+
+func TestMatchLimitsInjection(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	p := NewPlan(1).FailFirstRequests(100)
+	c := &http.Client{Transport: &Transport{
+		Plan:  p,
+		Match: func(r *http.Request) bool { return strings.HasPrefix(r.URL.Path, "/api/") },
+	}}
+	resp, err := c.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("unmatched request should pass: %v", err)
+	}
+	resp.Body.Close()
+	if _, err := c.Get(ts.URL + "/api/v1/jobs"); err == nil {
+		t.Fatal("matched request should fail")
+	}
+}

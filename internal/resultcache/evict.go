@@ -1,0 +1,168 @@
+package resultcache
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sort"
+	"time"
+)
+
+// Policy selects which entries an over-budget sweep evicts first. The
+// policies mirror the cache-cleanup trio a long-lived mirror service needs
+// (cf. dingospeed): recency for steady mixed workloads, age for append-
+// mostly ones, and size for caches dominated by a few huge entries.
+type Policy string
+
+const (
+	// LRU evicts the least recently read entries first. Reads in this
+	// process update recency; entries never read since Open order by their
+	// write time.
+	LRU Policy = "lru"
+	// FIFO evicts the oldest written entries first, ignoring reads.
+	FIFO Policy = "fifo"
+	// LargeFirst evicts the largest entries first, reclaiming the most
+	// bytes with the fewest recomputable losses.
+	LargeFirst Policy = "large_first"
+)
+
+// numPolicies sizes the per-policy eviction counters.
+const numPolicies = 3
+
+// Policies lists every eviction policy, in metric-label order.
+var Policies = []Policy{LRU, FIFO, LargeFirst}
+
+func (p Policy) index() int {
+	for i, q := range Policies {
+		if p == q {
+			return i
+		}
+	}
+	return -1
+}
+
+// ParsePolicy resolves a policy name (as given to -evict-policy).
+func ParsePolicy(name string) (Policy, error) {
+	p := Policy(name)
+	if p.index() < 0 {
+		return "", fmt.Errorf("resultcache: unknown eviction policy %q (want one of %v)", name, Policies)
+	}
+	return p, nil
+}
+
+// SweepStats summarizes one eviction sweep.
+type SweepStats struct {
+	// Entries and Bytes describe the cache before the sweep.
+	Entries int
+	Bytes   int64
+	// Evicted and EvictedBytes describe what the sweep removed.
+	Evicted      int
+	EvictedBytes int64
+}
+
+// Sweep brings the store under maxBytes by evicting entries in the
+// policy's order until the remaining live bytes fit. Every entry is
+// recomputable from its identity, so eviction is always safe — the cost of
+// a wrong policy choice is extra simulation, never wrong results. A sweep
+// under concurrent writers is best-effort: entries written mid-sweep are
+// not re-measured, so a busy cache may briefly overshoot until the next
+// sweep. maxBytes <= 0 disables eviction and just reports the totals.
+func (s *Store) Sweep(policy Policy, maxBytes int64) (SweepStats, error) {
+	if policy.index() < 0 {
+		return SweepStats{}, fmt.Errorf("resultcache: unknown eviction policy %q", policy)
+	}
+	ents, err := s.entries()
+	if err != nil {
+		return SweepStats{}, err
+	}
+	st := SweepStats{Entries: len(ents)}
+	for _, e := range ents {
+		st.Bytes += e.size
+	}
+	if maxBytes <= 0 || st.Bytes <= maxBytes {
+		return st, nil
+	}
+	switch policy {
+	case LRU:
+		// Decorate with recency once, then sort: lastAccess takes the
+		// access-map lock, and n log n lock acquisitions under a concurrent
+		// study is a sweep stall for nothing.
+		when := make([]time.Time, len(ents))
+		for i, e := range ents {
+			when[i] = s.lastAccess(e.key, e.mtime)
+		}
+		sort.SliceStable(ents, func(i, j int) bool { return when[i].Before(when[j]) })
+	case FIFO:
+		sort.SliceStable(ents, func(i, j int) bool { return ents[i].mtime.Before(ents[j].mtime) })
+	case LargeFirst:
+		sort.SliceStable(ents, func(i, j int) bool { return ents[i].size > ents[j].size })
+	}
+	over := st.Bytes - maxBytes
+	for _, e := range ents {
+		if over <= 0 {
+			break
+		}
+		if err := s.remove(e.key); err != nil {
+			return st, err
+		}
+		over -= e.size
+		st.Evicted++
+		st.EvictedBytes += e.size
+	}
+	s.evictions[policy.index()].Add(int64(st.Evicted))
+	return st, nil
+}
+
+// remove deletes one entry (eviction, not quarantine). A concurrent
+// evict/quarantine losing the race is fine: the entry is gone either way.
+func (s *Store) remove(key string) error {
+	err := os.Remove(s.path(key))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	s.forget(key)
+	return nil
+}
+
+// Evictions reports how many entries each policy has evicted since Open,
+// in Policies order (cache_evictions_total{policy=...}).
+func (s *Store) Evictions() map[Policy]int64 {
+	out := make(map[Policy]int64, numPolicies)
+	for i, p := range Policies {
+		out[p] = s.evictions[i].Load()
+	}
+	return out
+}
+
+// StartSweeper runs Sweep(policy, maxBytes) every interval until the
+// returned stop function is called. Sweep errors are reported to onErr
+// (nil ignores them) and do not stop the schedule — a transient filesystem
+// error must not leave a long-lived daemon unbounded forever.
+func (s *Store) StartSweeper(interval time.Duration, policy Policy, maxBytes int64, onErr func(error)) (stop func()) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if _, err := s.Sweep(policy, maxBytes); err != nil && onErr != nil {
+					onErr(err)
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if !once {
+			once = true
+			close(done)
+		}
+	}
+}

@@ -84,6 +84,19 @@ func (id Identity) Key() string {
 	return fmt.Sprintf("%x", h)
 }
 
+// ReplicaKey returns the content address of one replica of the identity:
+// the SHA-256 of the canonical identity JSON concatenated with a replica
+// suffix. Cluster workers store per-replica envelopes under these keys, so
+// a worker that dies mid-point loses at most one replica's work — every
+// replica another worker (or an earlier run) completed is findable by key,
+// locally or via peer cache fill, and is never simulated twice.
+func (id Identity) ReplicaKey(rep int) string {
+	b := id.canonicalJSON()
+	b = append(b, []byte(fmt.Sprintf(`{"rep":%d}`, rep))...)
+	h := sha256.Sum256(b)
+	return fmt.Sprintf("%x", h)
+}
+
 // SeedFingerprint folds the physical point — kind, architecture+options,
 // workload+options, scenario+options, N, load, burst — into 64 bits of
 // seed material. The measurement policy (slots, warmup, windows, replicas)

@@ -6,7 +6,9 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Store is an on-disk content-addressed blob store. Keys are the hex
@@ -20,7 +22,22 @@ type Store struct {
 	dir string
 	// puts counts successful writes since Open, for the daemon's metrics.
 	puts atomic.Int64
+	// corrupts counts entries quarantined since Open (cache_corrupt_total).
+	corrupts atomic.Int64
+
+	// access records read recency since Open, feeding the LRU eviction
+	// policy. Entries never read by this process fall back to their file
+	// mtime (their write time), which orders them correctly relative to
+	// each other and pessimistically relative to read entries.
+	accessMu sync.Mutex
+	access   map[string]time.Time
+
+	evictions [numPolicies]atomic.Int64
 }
+
+// corruptDir is the subdirectory quarantined entries are moved to, next to
+// the shard directories. It is excluded from sweeps and size accounting.
+const corruptDir = "corrupt"
 
 // Open creates (if needed) and returns the store rooted at dir.
 func Open(dir string) (*Store, error) {
@@ -30,7 +47,7 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("resultcache: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, access: map[string]time.Time{}}, nil
 }
 
 // Dir returns the store's root directory.
@@ -67,7 +84,35 @@ func (s *Store) Get(key string) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	s.touch(key)
 	return b, true, nil
+}
+
+// touch records a read of key for the LRU policy.
+func (s *Store) touch(key string) {
+	s.accessMu.Lock()
+	s.access[key] = time.Now()
+	s.accessMu.Unlock()
+}
+
+// lastAccess returns the entry's recency: the in-process read time when
+// known, the file write time otherwise.
+func (s *Store) lastAccess(key string, mtime time.Time) time.Time {
+	s.accessMu.Lock()
+	t, ok := s.access[key]
+	s.accessMu.Unlock()
+	if ok && t.After(mtime) {
+		return t
+	}
+	return mtime
+}
+
+// forget drops the in-memory access record of an evicted or quarantined
+// entry so the map stays bounded by what is on disk.
+func (s *Store) forget(key string) {
+	s.accessMu.Lock()
+	delete(s.access, key)
+	s.accessMu.Unlock()
 }
 
 // Put stores val under key, atomically: the value is written to a temp
@@ -103,19 +148,119 @@ func (s *Store) Put(key string, val []byte) error {
 // Puts reports the number of successful writes since Open.
 func (s *Store) Puts() int64 { return s.puts.Load() }
 
+// Quarantine moves the entry stored under key into the corrupt/
+// subdirectory instead of deleting it: the bytes stay available for a
+// post-mortem, the key reads as a miss from then on, and Corrupts counts
+// the event. Quarantining an absent key is a no-op. Callers invoke it when
+// an entry fails envelope or identity validation on read — e.g. the torn
+// tail a kill -9 mid-write leaves behind — so a corrupt entry costs one
+// recomputation, never a failed study.
+func (s *Store) Quarantine(key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	dst := filepath.Join(s.dir, corruptDir)
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	err := os.Rename(s.path(key), filepath.Join(dst, key+".json"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	s.forget(key)
+	s.corrupts.Add(1)
+	return nil
+}
+
+// Corrupts reports the number of entries quarantined since Open.
+func (s *Store) Corrupts() int64 { return s.corrupts.Load() }
+
+// isShardDir reports whether name is one of the 256 two-hex-character
+// shard directories (as opposed to corrupt/, studies/, or anything else a
+// caller co-locates under the cache root).
+func isShardDir(name string) bool {
+	if len(name) != 2 {
+		return false
+	}
+	for _, c := range name {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// entryInfo describes one live cache entry, for sweeps and size accounting.
+type entryInfo struct {
+	key   string
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// entries walks the shard directories and returns every live entry.
+func (s *Store) entries() ([]entryInfo, error) {
+	dirents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []entryInfo
+	for _, d := range dirents {
+		if !d.IsDir() || !isShardDir(d.Name()) {
+			continue
+		}
+		shard := filepath.Join(s.dir, d.Name())
+		files, err := os.ReadDir(shard)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			name := f.Name()
+			if f.IsDir() || filepath.Ext(name) != ".json" {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				if errors.Is(err, fs.ErrNotExist) {
+					continue // evicted or quarantined under us
+				}
+				return nil, err
+			}
+			out = append(out, entryInfo{
+				key:   name[:len(name)-len(".json")],
+				path:  filepath.Join(shard, name),
+				size:  info.Size(),
+				mtime: info.ModTime(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Size returns the total bytes of live cache entries (quarantined entries
+// and co-located study checkpoints excluded).
+func (s *Store) Size() (int64, error) {
+	ents, err := s.entries()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range ents {
+		total += e.size
+	}
+	return total, nil
+}
+
 // Len walks the store and counts entries. It exists for status endpoints
 // and tests; it is O(entries) and takes no locks, so the count is a
 // point-in-time approximation under concurrent writes.
 func (s *Store) Len() (int, error) {
-	n := 0
-	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if !d.IsDir() && filepath.Ext(path) == ".json" {
-			n++
-		}
-		return nil
-	})
-	return n, err
+	ents, err := s.entries()
+	if err != nil {
+		return 0, err
+	}
+	return len(ents), nil
 }

@@ -56,6 +56,10 @@ type Config struct {
 	// Seed makes the whole replay — workload, scenario randomness, switch,
 	// arrival process — deterministic.
 	Seed int64
+	// OnSlot, when non-nil, is invoked once per slot after the windowed
+	// collector's own bookkeeping — the hook fault-injection harnesses use
+	// to abort a replay at an exact slot.
+	OnSlot func(sim.Slot)
 	// Cancel, when non-nil, aborts the replay early (sim.RunConfig.Cancel
 	// semantics). Run then returns ErrCanceled instead of a partial,
 	// misleading Result.
@@ -138,10 +142,15 @@ func Run(cfg Config) (*Result, error) {
 	// only evaluated on window-closing slots, and the hot path stays free
 	// of per-slot closure allocation.
 	backlog := sw.Backlog
+	onSlot := func(t sim.Slot) { windowed.OnSlot(t, backlog) }
+	if extra := cfg.OnSlot; extra != nil {
+		inner := onSlot
+		onSlot = func(t sim.Slot) { inner(t); extra(t) }
+	}
 	offered, delivered := sim.Run(sw, windowed.WrapSource(src), sim.RunConfig{
 		Warmup: cfg.Warmup,
 		Slots:  cfg.Slots,
-		OnSlot: func(t sim.Slot) { windowed.OnSlot(t, backlog) },
+		OnSlot: onSlot,
 		Cancel: cfg.Cancel,
 	}, stats.Multi{delay, windowed})
 	if cfg.Cancel != nil {

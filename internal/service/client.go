@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -24,6 +25,12 @@ type Client struct {
 	// HTTPClient defaults to http.DefaultClient. Streaming requests rely
 	// on the client's default (no) timeout; use context deadlines instead.
 	HTTPClient *http.Client
+	// Retry shapes transient-failure handling: connection errors, 5xx
+	// responses and dropped SSE streams are retried with capped
+	// exponential backoff and jitter (safe for every endpoint — study
+	// submission deduplicates on the spec's content hash). The zero value
+	// uses the defaults; see RetryPolicy.
+	Retry RetryPolicy
 }
 
 func (c *Client) httpc() *http.Client {
@@ -37,7 +44,18 @@ func (c *Client) url(path string) string {
 	return strings.TrimSuffix(c.BaseURL, "/") + path
 }
 
-// apiError extracts the {"error": ...} body of a non-2xx response.
+// APIError is a non-2xx daemon response: the HTTP status plus the
+// {"error": ...} body. Callers branch on Status — the remote runner, for
+// one, treats a 404 mid-stream as "the daemon restarted and forgot the
+// study table" and resubmits.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string { return e.Msg }
+
+// apiError consumes a non-2xx response into an *APIError.
 func apiError(resp *http.Response) error {
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
@@ -45,22 +63,18 @@ func apiError(resp *http.Response) error {
 		Error string `json:"error"`
 	}
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("sprinklerd: %s (%s)", e.Error, resp.Status)
+		return &APIError{Status: resp.StatusCode, Msg: fmt.Sprintf("sprinklerd: %s (%s)", e.Error, resp.Status)}
 	}
-	return fmt.Errorf("sprinklerd: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	return &APIError{Status: resp.StatusCode,
+		Msg: fmt.Sprintf("sprinklerd: %s: %s", resp.Status, strings.TrimSpace(string(body)))}
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	})
 	if err != nil {
 		return err
-	}
-	resp, err := c.httpc().Do(req)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode/100 != 2 {
-		return apiError(resp)
 	}
 	defer resp.Body.Close()
 	return json.NewDecoder(resp.Body).Decode(out)
@@ -74,17 +88,19 @@ func (c *Client) Submit(ctx context.Context, spec experiment.Spec) (StudyStatus,
 	if err != nil {
 		return StudyStatus{}, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/api/v1/studies"), bytes.NewReader(body))
+	// Retrying a submit is safe: the study id is the spec's content hash,
+	// so a replay whose first attempt actually landed joins that execution
+	// instead of starting a second one.
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/api/v1/studies"), bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 	if err != nil {
 		return StudyStatus{}, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpc().Do(req)
-	if err != nil {
-		return StudyStatus{}, err
-	}
-	if resp.StatusCode/100 != 2 {
-		return StudyStatus{}, apiError(resp)
 	}
 	defer resp.Body.Close()
 	var status StudyStatus
@@ -105,18 +121,13 @@ func (c *Client) Status(ctx context.Context, id string) (StudyStatus, error) {
 
 // Cancel cancels a running study.
 func (c *Client) Cancel(ctx context.Context, id string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/api/v1/studies/"+id+"/cancel"), nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.httpc().Do(req)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodPost, c.url("/api/v1/studies/"+id+"/cancel"), nil)
+	})
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return apiError(resp)
-	}
 	io.Copy(io.Discard, resp.Body) //nolint:errcheck
 	return nil
 }
@@ -140,20 +151,51 @@ func (c *Client) Results(ctx context.Context, id string, wait bool) (State, []ex
 
 // Stream consumes the study's SSE progress stream from event index from,
 // invoking fn per point, and returns the study's terminal state.
+//
+// A dropped stream — the daemon restarted, the connection reset mid-event
+// — is reconnected with ?from=<events consumed so far>, so across any
+// number of drops fn sees every event exactly once, in order. Reconnection
+// follows the client's RetryPolicy; the failure budget resets whenever a
+// connection makes progress.
 func (c *Client) Stream(ctx context.Context, id string, from int, fn func(ProgressEvent)) (State, error) {
+	pol := c.Retry.withDefaults()
+	fails := 0
+	for {
+		state, n, err := c.streamOnce(ctx, id, from, fn)
+		from += n
+		if err == nil {
+			return state, nil
+		}
+		if n > 0 {
+			fails = 0
+		}
+		fails++
+		if ctx.Err() != nil || !retryable(err) || fails >= pol.MaxAttempts {
+			return "", err
+		}
+		if serr := pol.sleep(ctx, fails); serr != nil {
+			return "", err
+		}
+	}
+}
+
+// streamOnce consumes one SSE connection, reporting how many events it
+// delivered so a reconnect resumes precisely after them.
+func (c *Client) streamOnce(ctx context.Context, id string, from int, fn func(ProgressEvent)) (State, int, error) {
 	path := fmt.Sprintf("/api/v1/studies/%s/events?from=%d", id, from)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	resp, err := c.httpc().Do(req)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return "", apiError(resp)
+		return "", 0, apiError(resp)
 	}
+	delivered := 0
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024) // trajectory-bearing points can be large
 	for sc.Scan() {
@@ -169,22 +211,27 @@ func (c *Client) Stream(ctx context.Context, id string, from int, fn func(Progre
 		}
 		if json.Unmarshal([]byte(data), &terminal) == nil && terminal.State != "" {
 			if terminal.State == StateFailed {
-				return terminal.State, fmt.Errorf("sprinklerd: study %s failed: %s", id, terminal.Error)
+				return terminal.State, delivered, fmt.Errorf("sprinklerd: study %s failed: %s", id, terminal.Error)
 			}
-			return terminal.State, nil
+			return terminal.State, delivered, nil
 		}
 		var ev ProgressEvent
 		if err := json.Unmarshal([]byte(data), &ev); err != nil {
-			return "", fmt.Errorf("sprinklerd: bad event %q: %w", data, err)
+			return "", delivered, fmt.Errorf("sprinklerd: bad event %q: %w", data, err)
 		}
+		delivered++
 		if fn != nil {
 			fn(ev)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return "", err
+		return "", delivered, err
 	}
-	return "", fmt.Errorf("sprinklerd: progress stream for %s ended without a terminal state", id)
+	// A stream that ends cleanly without a terminal line is a daemon that
+	// went away mid-study; classify it like a cut connection so the
+	// reconnect loop resumes it.
+	return "", delivered, fmt.Errorf("sprinklerd: progress stream for %s ended without a terminal state: %w",
+		id, io.ErrUnexpectedEOF)
 }
 
 // Run is the whole remote round trip: submit, stream progress, fetch
@@ -203,8 +250,14 @@ func (c *Client) Run(ctx context.Context, spec experiment.Spec, progress func(Pr
 		return nil, err
 	}
 	state := status.State
-	if !state.terminal() {
-		state, err = c.Stream(ctx, status.ID, 0, progress)
+	from, resubmits := 0, 0
+	for !state.terminal() {
+		state, err = c.Stream(ctx, status.ID, from, func(ev ProgressEvent) {
+			from++
+			if progress != nil {
+				progress(ev)
+			}
+		})
 		if ctx.Err() != nil {
 			// Local cancel, on a fresh-but-bounded context (ours is dead,
 			// and an unreachable daemon must not hang the caller forever).
@@ -222,6 +275,22 @@ func (c *Client) Run(ctx context.Context, spec experiment.Spec, progress func(Pr
 			return results, fmt.Errorf("sprinklerd: study %s (still running on the server): %w", status.ID, ctx.Err())
 		}
 		if err != nil {
+			// A 404 mid-run means the daemon restarted and lost its
+			// in-memory study table. The study id is the spec's content
+			// hash, so resubmitting recreates the SAME study — resumed from
+			// its checkpoint and cache, with nothing recomputed — and the
+			// stream picks up at the accumulated event index, so the caller
+			// sees every point exactly once across the restart.
+			var ae *APIError
+			if errors.As(err, &ae) && ae.Status == http.StatusNotFound && resubmits < 3 {
+				resubmits++
+				st, serr := c.Submit(ctx, spec)
+				if serr != nil {
+					return nil, serr
+				}
+				status, state = st, st.State
+				continue
+			}
 			return nil, err
 		}
 	}

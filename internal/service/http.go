@@ -29,14 +29,13 @@ import (
 //	                                    same ten renderings the CLIs print)
 //	POST /api/v1/studies/{id}/cancel    cancel a running study
 //	DELETE /api/v1/studies/{id}         alias for cancel
+//
+// Cluster endpoints (jobs, CAS, registration) are documented in worker.go.
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /api/v1/catalog", s.handleCatalog)
 	mux.HandleFunc("POST /api/v1/studies", s.handleSubmit)
@@ -47,7 +46,36 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/studies/{id}/render", s.handleRender)
 	mux.HandleFunc("POST /api/v1/studies/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /api/v1/studies/{id}", s.handleCancel)
-	return mux
+	mux.HandleFunc("POST /api/v1/jobs", s.handleJob)
+	mux.HandleFunc("GET /api/v1/cas/{key}", s.handleCAS)
+	mux.HandleFunc("POST /api/v1/cluster/register", s.handleClusterRegister)
+	mux.HandleFunc("POST /api/v1/cluster/heartbeat", s.handleClusterRegister)
+	if s.fault == nil {
+		return mux
+	}
+	// A dead fault plan makes the whole daemon behave like a killed
+	// process: every connection — health probes included — is severed
+	// before any handler runs, so heartbeats fail and the coordinator's
+	// suspect/failover machinery is exercised for real.
+	fault := s.fault
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fault.Dead() {
+			panic(http.ErrAbortHandler)
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// handleHealthz reports liveness: "ok", or "degraded" (still 200 — the
+// process is alive and serving, but every cluster worker is down and
+// studies are running on coordinator-local fallback).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.cluster != nil && s.cluster.Degraded() {
+		fmt.Fprintln(w, "degraded")
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -3,6 +3,8 @@ package service
 import (
 	"fmt"
 	"net/http"
+
+	"sprinklers/internal/resultcache"
 )
 
 // handleMetrics renders the daemon's counters in the Prometheus text
@@ -30,5 +32,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("sprinklerd_studies_submitted_total", "Study submissions accepted.", s.submitted.Load())
 	counter("sprinklerd_studies_deduped_total", "Submissions joined onto an existing execution or finished study.", s.deduped.Load())
 	counter("sprinklerd_cache_puts_total", "Result-cache writes since the daemon started.", s.cache.Puts())
+	counter("sprinklerd_cache_corrupt_total", "Cache entries that failed validation on read and were quarantined.", c.CacheCorrupt+s.cache.Corrupts())
 	gauge("sprinklerd_studies_running", "Studies currently executing.", int64(s.RunningStudies()))
+
+	// Eviction accounting. The per-policy counters are labeled samples of
+	// one metric; the byte gauge lets an operator (and the CI e2e job)
+	// assert the configured disk bound holds.
+	fmt.Fprintf(w, "# HELP sprinklerd_cache_evictions_total Cache entries evicted by the size-bound sweeper.\n# TYPE sprinklerd_cache_evictions_total counter\n")
+	ev := s.cache.Evictions()
+	for _, pol := range resultcache.Policies {
+		fmt.Fprintf(w, "sprinklerd_cache_evictions_total{policy=%q} %d\n", pol, ev[pol])
+	}
+	if size, err := s.cache.Size(); err == nil {
+		gauge("sprinklerd_cache_bytes", "Bytes currently held by the result cache (quarantine and checkpoints excluded).", size)
+	}
+
+	// Cluster metrics, present on every daemon (workers serve jobs; only a
+	// coordinator has a worker table).
+	counter("sprinklerd_jobs_served_total", "Replica jobs served by this daemon's /api/v1/jobs endpoint.", s.jobsServed.Load())
+	counter("sprinklerd_jobs_dispatched_total", "Replica jobs dispatched to cluster workers.", c.JobsDispatched)
+	counter("sprinklerd_jobs_retried_total", "Job dispatches retried after a transient failure.", c.JobsRetried)
+	counter("sprinklerd_job_redispatch_total", "Job retries that moved to a different worker.", c.JobsRedispatched)
+	counter("sprinklerd_peer_cache_fill_total", "Results adopted from a sibling node's cache instead of simulation.", c.PeerCacheFills)
+	counter("sprinklerd_jobs_local_fallback_total", "Replica jobs run locally because no healthy worker was available.", c.LocalFallbacks)
+	if s.cluster != nil {
+		cs := s.cluster.Snapshot()
+		gauge("sprinklerd_workers_total", "Workers known to this coordinator.", int64(cs.WorkersTotal))
+		gauge("sprinklerd_workers_healthy", "Workers currently passing heartbeats.", int64(cs.WorkersHealthy))
+		degraded := int64(0)
+		if s.cluster.Degraded() {
+			degraded = 1
+		}
+		gauge("sprinklerd_cluster_degraded", "1 while every worker is down and studies run on local fallback.", degraded)
+	}
 }

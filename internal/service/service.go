@@ -19,13 +19,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"sprinklers/internal/cluster"
 	"sprinklers/internal/experiment"
+	"sprinklers/internal/faultinject"
 	"sprinklers/internal/resultcache"
 )
 
@@ -75,6 +79,28 @@ type Options struct {
 	Parallelism int
 	// Logf, when set, receives one line per notable server event.
 	Logf func(format string, args ...any)
+
+	// Cluster, when set, makes this daemon a coordinator: every study's
+	// replica jobs are dispatched to the cluster's workers (with this
+	// server's cache wrapped for peer fill) instead of simulated in the
+	// study's own pool. The caller owns the coordinator's health loop
+	// (cluster.Coordinator.Start).
+	Cluster *cluster.Coordinator
+	// Fault, when set, arms this daemon's chaos hooks: scheduled worker
+	// crashes abort jobs mid-simulation and, once the plan is Dead, every
+	// endpoint severs its connection — the in-process kill -9 the chaos
+	// suite drives.
+	Fault *faultinject.Plan
+	// CacheMaxBytes, when > 0, bounds the result cache on disk: a
+	// background sweeper evicts under EvictPolicy (default LRU) every
+	// SweepInterval (default 1m) whenever the bound is exceeded.
+	CacheMaxBytes int64
+	EvictPolicy   resultcache.Policy
+	SweepInterval time.Duration
+
+	// PeerHTTP overrides the HTTP client used for worker→peer cache reads
+	// (tests inject fault transports here); nil means http.DefaultClient.
+	PeerHTTP *http.Client
 }
 
 // Server owns the daemon state: the result cache, the lifetime counters,
@@ -85,14 +111,21 @@ type Server struct {
 	par   int
 	logf  func(format string, args ...any)
 
+	cluster     *cluster.Coordinator
+	fault       *faultinject.Plan
+	peerHTTP    *http.Client
+	evictPolicy resultcache.Policy
+	stopSweeper func()
+
 	counters experiment.Counters
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	running    sync.WaitGroup
 
-	submitted atomic.Int64
-	deduped   atomic.Int64
+	submitted  atomic.Int64
+	deduped    atomic.Int64
+	jobsServed atomic.Int64
 
 	mu       sync.Mutex
 	studies  map[string]*study
@@ -120,15 +153,32 @@ func New(opts Options) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cache:      store,
-		par:        opts.Parallelism,
-		logf:       opts.Logf,
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		studies:    map[string]*study{},
+		cache:       store,
+		par:         opts.Parallelism,
+		logf:        opts.Logf,
+		cluster:     opts.Cluster,
+		fault:       opts.Fault,
+		peerHTTP:    opts.PeerHTTP,
+		evictPolicy: opts.EvictPolicy,
+		baseCtx:     ctx,
+		baseCancel:  cancel,
+		studies:     map[string]*study{},
 	}
 	if s.logf == nil {
 		s.logf = func(string, ...any) {}
+	}
+	if s.evictPolicy == "" {
+		s.evictPolicy = resultcache.LRU
+	}
+	if s.cluster != nil {
+		// The coordinator's dispatch/retry/fallback accounting lands on the
+		// daemon's lifetime counters, so /metrics tells the whole story.
+		s.cluster.UseCounters(&s.counters)
+	}
+	if opts.CacheMaxBytes > 0 {
+		s.stopSweeper = store.StartSweeper(opts.SweepInterval, s.evictPolicy, opts.CacheMaxBytes,
+			func(err error) { s.logf("cache sweep: %v", err) })
+		s.logf("cache bound: %d bytes, policy %s", opts.CacheMaxBytes, s.evictPolicy)
 	}
 	return s, nil
 }
@@ -225,6 +275,15 @@ func (s *Server) run(ctx context.Context, st *study) {
 			st.progress(done, total, r)
 		},
 	}
+	if s.cluster != nil {
+		// Coordinator mode: replicas run on workers (falling back locally
+		// when the fleet is gone), and the cache pre-pass consults healthy
+		// peers before scheduling any simulation. Grid ordering,
+		// checkpointing, and aggregation are untouched — which is exactly
+		// why a cluster run is byte-identical to a single-node run.
+		cfg.ReplicaRunner = s.cluster.RunReplica
+		cfg.Cache = s.cluster.WrapCache(s.cache)
+	}
 	results, err := experiment.RunStudy(ctx, st.spec, cfg)
 	st.finish(results, err)
 	status := st.Status()
@@ -309,6 +368,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	if s.stopSweeper != nil {
+		s.stopSweeper()
+	}
 	s.baseCancel()
 	done := make(chan struct{})
 	go func() {
