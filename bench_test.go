@@ -14,6 +14,7 @@ package sprinklers_test
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 
 	"sprinklers/internal/bound"
@@ -120,7 +121,7 @@ func BenchmarkAblationPFThreshold(b *testing.B) {
 			sw := pf.New(benchN, threshold)
 			src := traffic.NewBernoulli(m, rand.New(rand.NewSource(1)))
 			d := &stats.Delay{}
-			sim.Run(sw, src, sim.RunConfig{Warmup: benchSlots / 5, Slots: benchSlots}, d)
+			sim.Run(sw, src, d, sim.WithWarmup(benchSlots/5), sim.WithSlots(benchSlots))
 			mean = d.Mean()
 		}
 		b.ReportMetric(mean, "delay-slots")
@@ -153,8 +154,8 @@ func BenchmarkAblationStripeSizing(b *testing.B) {
 			sw := core.MustNew(cfg)
 			src := traffic.NewBernoulli(m, rand.New(rand.NewSource(3)))
 			d := &stats.Delay{}
-			offered, delivered := sim.Run(sw, src,
-				sim.RunConfig{Warmup: benchSlots / 5, Slots: benchSlots}, d)
+			offered, delivered := sim.Run(sw, src, d,
+				sim.WithWarmup(benchSlots/5), sim.WithSlots(benchSlots))
 			mean = d.Mean()
 			tput = float64(delivered) / float64(offered)
 		}
@@ -190,8 +191,8 @@ func BenchmarkAblationPlacement(b *testing.B) {
 					Rand:      rand.New(rand.NewSource(7)),
 				})
 				src := traffic.NewBernoulli(m, rand.New(rand.NewSource(8)))
-				offered, delivered := sim.Run(sw, src,
-					sim.RunConfig{Warmup: benchSlots / 5, Slots: benchSlots}, nil)
+				offered, delivered := sim.Run(sw, src, nil,
+					sim.WithWarmup(benchSlots/5), sim.WithSlots(benchSlots))
 				tput = float64(delivered) / float64(offered)
 				backlog = float64(sw.Backlog())
 			}
@@ -246,8 +247,8 @@ func BenchmarkExtensionBurstiness(b *testing.B) {
 			}
 			d := &stats.Delay{}
 			r := stats.NewReorder(benchN)
-			sim.Run(sw, src, sim.RunConfig{Warmup: benchSlots / 5, Slots: benchSlots},
-				stats.Multi{d, r})
+			sim.Run(sw, src, stats.Multi{d, r},
+				sim.WithWarmup(benchSlots/5), sim.WithSlots(benchSlots))
 			mean = d.Mean()
 			reordered = r.Reordered()
 		}
@@ -368,6 +369,58 @@ func BenchmarkSizeSweepStep(b *testing.B) {
 			n := n
 			stepLoop(b, steadySwitch(b, fmt.Sprintf("large-%d", n), 12*n, func() (sim.Switch, sim.Source) {
 				return largeSprinklers(n)
+			}))
+		})
+	}
+}
+
+// BenchmarkParallelStep measures the sharded parallel slot engine: per-slot
+// stepping cost at N=4096 under P shard workers versus the sequential path
+// (P-1). The trace is identical for every P — see core's parallel engine —
+// so any delta is pure execution cost. P must be set before the warmup:
+// reshaping the center stage requires an empty switch, so the cache key
+// includes P and each parallelism level warms its own switch. On a
+// single-CPU machine the parallel points measure coordination overhead
+// only; the speedup comparison belongs on a multi-core runner (see the CI
+// benchmark job and BENCH_7.json).
+func BenchmarkParallelStep(b *testing.B) {
+	const n = 4096
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("N-%d/P-%d", n, p), func(b *testing.B) {
+			p := p
+			stepLoop(b, steadySwitch(b, fmt.Sprintf("par-%d-%d", n, p), 12*n, func() (sim.Switch, sim.Source) {
+				sw, src := largeSprinklers(n)
+				if p > 1 {
+					if err := sw.(sim.Parallelizable).SetParallelism(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				return sw, src
+			}))
+		})
+	}
+}
+
+// BenchmarkHugeSwitchStep is the first N=16384 point: the center-stage
+// shard banks and occupancy bitmap alone reach tens of gigabytes at this
+// size, so the benchmark is opt-in via SPRINKLERS_BENCH_HUGE=1 and skipped
+// everywhere else (CI runners and laptops would OOM, not measure).
+func BenchmarkHugeSwitchStep(b *testing.B) {
+	if os.Getenv("SPRINKLERS_BENCH_HUGE") == "" {
+		b.Skip("N=16384 needs ~100 GB of center-stage state; set SPRINKLERS_BENCH_HUGE=1 to run")
+	}
+	const n = 16384
+	for _, p := range []int{1, 8} {
+		b.Run(fmt.Sprintf("N-%d/P-%d", n, p), func(b *testing.B) {
+			p := p
+			stepLoop(b, steadySwitch(b, fmt.Sprintf("huge-%d-%d", n, p), 12*n, func() (sim.Switch, sim.Source) {
+				sw, src := largeSprinklers(n)
+				if p > 1 {
+					if err := sw.(sim.Parallelizable).SetParallelism(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				return sw, src
 			}))
 		})
 	}

@@ -65,6 +65,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:8356", "HTTP listen address")
 	cacheDir := flag.String("cache", "sprinklerd-cache", "content-addressed result cache directory (also holds per-study checkpoints)")
 	par := flag.Int("par", 0, "per-study worker parallelism (default GOMAXPROCS)")
+	parPoint := flag.Int("par-point", 1, "shard each point's slot execution across this many workers when the architecture supports it (trace-identical; node-local, never part of job identity)")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for draining studies")
 	coordinator := flag.Bool("coordinator", false, "run as a cluster coordinator, dispatching replica jobs to -workers")
 	workers := flag.String("workers", "", "comma-separated worker base URLs (implies -coordinator)")
@@ -104,13 +105,14 @@ func main() {
 	}
 
 	srv, err := service.New(service.Options{
-		CacheDir:      *cacheDir,
-		Parallelism:   *par,
-		Logf:          logger.Printf,
-		Cluster:       coord,
-		CacheMaxBytes: *cacheMax,
-		EvictPolicy:   policy,
-		SweepInterval: *sweepInterval,
+		CacheDir:         *cacheDir,
+		Parallelism:      *par,
+		PointParallelism: *parPoint,
+		Logf:             logger.Printf,
+		Cluster:          coord,
+		CacheMaxBytes:    *cacheMax,
+		EvictPolicy:      policy,
+		SweepInterval:    *sweepInterval,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -59,8 +59,8 @@ func ExampleRun() {
 	src := traffic.NewOnOff(m, 16, rand.New(rand.NewSource(4)))
 	delay := &sprinklers.DelayStats{}
 	reorder := stats.NewReorder(8)
-	sprinklers.Run(sw, src, sprinklers.RunConfig{Warmup: 5_000, Slots: 30_000},
-		stats.Multi{delay, reorder})
+	sprinklers.Run(sw, src, stats.Multi{delay, reorder},
+		sprinklers.WithWarmup(5_000), sprinklers.WithSlots(30_000))
 	fmt.Println("reordered:", reorder.Reordered())
 	// Output:
 	// reordered: 0

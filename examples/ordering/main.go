@@ -28,9 +28,8 @@ func main() {
 		src := sprinklers.NewBernoulli(m, rand.New(rand.NewSource(seed)))
 		delay := &sprinklers.DelayStats{}
 		reorder := stats.NewReorder(n)
-		sprinklers.Run(sw, src,
-			sprinklers.RunConfig{Warmup: slots / 5, Slots: slots},
-			stats.Multi{delay, reorder})
+		sprinklers.Run(sw, src, stats.Multi{delay, reorder},
+			sprinklers.WithWarmup(slots/5), sprinklers.WithSlots(slots))
 		fmt.Printf("%-14s mean delay %7.1f   reordered %8d / %8d (%.2f%%)   max seq gap %d\n",
 			name, delay.Mean(), reorder.Reordered(), reorder.Total(),
 			100*reorder.Fraction(), reorder.MaxGap())

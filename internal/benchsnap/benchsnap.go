@@ -1,0 +1,232 @@
+// Package benchsnap measures the canonical per-slot stepping benchmarks
+// with testing.Benchmark and serializes them as a machine-readable
+// snapshot, so performance is a reviewable artifact (BENCH_7.json) and a
+// CI gate instead of a claim in a commit message.
+//
+// The snapshot records, per (switch size, parallelism) point, the ns/op of
+// one slot step, the steady-state allocations per slot, and the derived
+// slots/sec. Sequential points (P=1) are the regression surface: Compare
+// flags any sequential point whose ns/op regressed beyond a tolerance
+// versus a committed baseline. Parallel points are recorded for the
+// scaling story but never gated — their ratio to the sequential point only
+// means something on a machine with that many free cores, which the
+// snapshot documents via the CPUs field.
+package benchsnap
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"sprinklers/internal/core"
+	"sprinklers/internal/sim"
+	"sprinklers/internal/traffic"
+)
+
+// Point is one measured benchmark point.
+type Point struct {
+	// Name identifies the point, e.g. "step/N-1024/P-1".
+	Name string `json:"name"`
+	// N is the switch size, Parallelism the shard worker count (1 =
+	// sequential engine).
+	N           int `json:"n"`
+	Parallelism int `json:"parallelism"`
+	// NsPerOp is the wall time of one slot step (arrivals + Step).
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is the steady-state heap allocations per slot; the
+	// engine's contract is 0. At the largest size the backlog high-water
+	// mark can still creep during the measured window, so an occasional
+	// residual FIFO doubling may round this up to 1 there.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// SlotsPerSec is 1e9/NsPerOp, the simulation throughput.
+	SlotsPerSec float64 `json:"slots_per_sec"`
+}
+
+// Snapshot is the machine-readable benchmark artifact.
+type Snapshot struct {
+	// Schema versions the JSON layout.
+	Schema int `json:"schema"`
+	// GoVersion and CPUs document the measuring machine: comparisons
+	// across different machines are noise, and parallel speedups are only
+	// meaningful when CPUs covers the worker count.
+	GoVersion string  `json:"go_version"`
+	CPUs      int     `json:"cpus"`
+	Points    []Point `json:"points"`
+}
+
+// Config selects what Collect measures.
+type Config struct {
+	// Sizes is the switch-size axis.
+	Sizes []int
+	// Pars is the parallelism axis applied to the largest size only (the
+	// small sizes step too fast for sharding to matter and would measure
+	// pure coordination overhead).
+	Pars []int
+	// Warmup overrides the default warmup of 12*N slots when positive.
+	Warmup int
+}
+
+// Collect measures every configured point. It is deliberately sequential:
+// one point at a time, each on a freshly built switch stepped past its
+// FIFO-growth transient, so points never contend with each other.
+func Collect(cfg Config) (*Snapshot, error) {
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = []int{256, 1024, 4096}
+	}
+	if len(cfg.Pars) == 0 {
+		cfg.Pars = []int{1, 2, 4, 8}
+	}
+	sort.Ints(cfg.Sizes)
+	snap := &Snapshot{
+		Schema:    1,
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+	}
+	largest := cfg.Sizes[len(cfg.Sizes)-1]
+	for _, n := range cfg.Sizes {
+		pars := []int{1}
+		if n == largest {
+			pars = cfg.Pars
+		}
+		for _, p := range pars {
+			pt, err := measure(n, p, cfg.Warmup)
+			if err != nil {
+				return nil, err
+			}
+			snap.Points = append(snap.Points, pt)
+			// Each point holds a multi-gigabyte center stage at large N;
+			// release it before building the next one.
+			runtime.GC()
+		}
+	}
+	snap.Points = append(snap.Points, measureSource(1024))
+	return snap, nil
+}
+
+// measureSource times arrival generation alone at size n — the other half
+// of the simulation hot path, and the per-slot floor no engine change can
+// step under.
+func measureSource(n int) Point {
+	m := traffic.Uniform(n, 0.9)
+	src := traffic.NewBernoulli(m, rand.New(rand.NewSource(1)))
+	sink := func(sim.Packet) {}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src.Next(sim.Slot(i), sink)
+		}
+	})
+	ns := float64(res.T.Nanoseconds()) / float64(res.N)
+	return Point{
+		Name:        fmt.Sprintf("source/N-%d", n),
+		N:           n,
+		Parallelism: 1,
+		NsPerOp:     ns,
+		AllocsPerOp: res.AllocsPerOp(),
+		SlotsPerSec: 1e9 / ns,
+	}
+}
+
+// measure builds a warmed n-port gated Sprinklers switch with p shard
+// workers and times one slot per benchmark iteration. The build mirrors
+// the repo's BenchmarkSizeSweepStep: uniform Bernoulli load 0.9 with
+// explicit size-1 stripes, so the steady state arrives within ~12N slots
+// (Eq. 1 sizing at this load would need an O(N^2) transient).
+func measure(n, p, warmup int) (Point, error) {
+	sw := core.MustNew(core.Config{
+		N:                 n,
+		DefaultStripeSize: 1,
+		Rand:              rand.New(rand.NewSource(1)),
+	})
+	if p > 1 {
+		if err := sw.SetParallelism(p); err != nil {
+			return Point{}, err
+		}
+		defer sw.StopWorkers()
+	}
+	m := traffic.Uniform(n, 0.9)
+	src := traffic.NewBernoulli(m, rand.New(rand.NewSource(1)))
+	arrive := sw.Arrive
+	if warmup <= 0 {
+		warmup = 12 * n
+	}
+	for i := 0; i < warmup; i++ {
+		src.Next(sw.Now(), arrive)
+		sw.Step(nil)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src.Next(sw.Now(), arrive)
+			sw.Step(nil)
+		}
+	})
+	ns := float64(res.T.Nanoseconds()) / float64(res.N)
+	return Point{
+		Name:        fmt.Sprintf("step/N-%d/P-%d", n, p),
+		N:           n,
+		Parallelism: p,
+		NsPerOp:     ns,
+		AllocsPerOp: res.AllocsPerOp(),
+		SlotsPerSec: 1e9 / ns,
+	}, nil
+}
+
+// Load reads a snapshot file.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("benchsnap: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Save writes a snapshot file with stable formatting, so committed
+// snapshots diff cleanly.
+func (s *Snapshot) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Compare checks fresh against a committed baseline and returns one
+// message per violation. Only sequential points gate ns/op — parallel
+// timing depends on free cores, which CI runners do not promise — but a
+// steady-state allocation regression fails at any parallelism, because
+// the zero-allocs contract is machine-independent.
+func Compare(baseline, fresh *Snapshot, tolerance float64) []string {
+	base := map[string]Point{}
+	for _, pt := range baseline.Points {
+		base[pt.Name] = pt
+	}
+	var violations []string
+	for _, pt := range fresh.Points {
+		ref, ok := base[pt.Name]
+		if !ok {
+			continue // new point: nothing to regress against
+		}
+		if pt.AllocsPerOp > ref.AllocsPerOp {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %d allocs/op, baseline %d", pt.Name, pt.AllocsPerOp, ref.AllocsPerOp))
+		}
+		if pt.Parallelism != 1 {
+			continue
+		}
+		if limit := ref.NsPerOp * (1 + tolerance); pt.NsPerOp > limit {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %.0f%%",
+				pt.Name, pt.NsPerOp, ref.NsPerOp, 100*tolerance))
+		}
+	}
+	return violations
+}

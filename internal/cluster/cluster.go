@@ -97,6 +97,11 @@ type Options struct {
 	// Transport overrides the dispatch HTTP transport — the fault-
 	// injection hook (default http.DefaultTransport).
 	Transport http.RoundTripper
+	// PointParallelism shards a local-fallback replica's slot execution
+	// across this many goroutines (sim.WithParallelism semantics; pure
+	// execution policy). Jobs dispatched to workers use each worker's own
+	// setting — parallelism is node-local and never on the wire.
+	PointParallelism int
 	// Counters receives job-level accounting (required for metrics; nil
 	// allocates a private set).
 	Counters *experiment.Counters
@@ -424,7 +429,7 @@ func (c *Coordinator) RunReplica(ctx context.Context, spec experiment.Spec, key 
 	// Degraded mode: the fleet is gone (or spent its retry budget) — the
 	// study must still finish, so the replica runs in-process.
 	c.counters.LocalFallbacks.Add(1)
-	return experiment.RunReplicaJob(ctx, spec, key, rep, c.counters, nil)
+	return experiment.RunReplicaJob(ctx, spec, key, rep, c.opts.PointParallelism, c.counters, nil)
 }
 
 // dispatch POSTs one job to a worker under the lease and decodes the

@@ -45,7 +45,7 @@ func TestOrderingBursty(t *testing.T) {
 	sw := New(8)
 	src := traffic.NewOnOff(m, 20, rand.New(rand.NewSource(54)))
 	reorder := newDetector()
-	sim.Run(sw, src, sim.RunConfig{Warmup: 8000, Slots: 60000}, reorder)
+	sim.Run(sw, src, reorder, sim.WithWarmup(8000), sim.WithSlots(60000))
 	if reorder.bad != 0 {
 		t.Fatalf("reordered %d packets under bursty arrivals", reorder.bad)
 	}

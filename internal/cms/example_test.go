@@ -19,7 +19,7 @@ func Example() {
 	sw := cms.New(n)
 	src := traffic.NewBernoulli(m, rand.New(rand.NewSource(3)))
 	reorder := stats.NewReorder(n)
-	sim.Run(sw, src, sim.RunConfig{Warmup: 5_000, Slots: 40_000}, reorder)
+	sim.Run(sw, src, reorder, sim.WithWarmup(5_000), sim.WithSlots(40_000))
 	fmt.Println("reordered:", reorder.Reordered())
 	// Output:
 	// reordered: 0

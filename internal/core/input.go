@@ -35,6 +35,14 @@ type inputPort struct {
 	voqs     []voqState // one contiguous array, not N scattered allocations
 	buffered int        // packets at this input (ready + scheduled)
 
+	// nextStripeID allocates stripe identities from a per-input space
+	// (input i owns IDs [i<<40, (i+1)<<40)), so stripe formation at
+	// different inputs shares no mutable state — the parallel engine's
+	// shard workers form stripes concurrently. The IDs never leave the
+	// switch; the lockstep assertions only compare them for equality, so
+	// the numbering scheme is trace-invisible.
+	nextStripeID uint64
+
 	// fastSingle[j] caches voqs[j].iv.Start when the VOQ is eligible for
 	// the size-1 direct path (stripe size 1, not draining, empty ready
 	// queue) and is -1 otherwise. The hot arrival path reads only this
@@ -71,10 +79,11 @@ type inputPort struct {
 
 func newInputPort(sw *Switch, i int) *inputPort {
 	in := &inputPort{
-		sw:         sw,
-		i:          i,
-		voqs:       make([]voqState, sw.n),
-		fastSingle: make([]int32, sw.n),
+		sw:           sw,
+		i:            i,
+		voqs:         make([]voqState, sw.n),
+		fastSingle:   make([]int32, sw.n),
+		nextStripeID: uint64(i) << 40,
 	}
 	for j := range in.voqs {
 		v := &in.voqs[j]
@@ -140,8 +149,8 @@ func (in *inputPort) arrive(p sim.Packet) {
 		// every VOQ stripes at size 1, which makes this the hottest branch
 		// in the simulator.
 		p.StripeSize = 1
-		c := cell{pkt: p, stripeID: in.sw.nextStripeID, formed: in.sw.t}
-		in.sw.nextStripeID++
+		c := cell{pkt: p, stripeID: in.nextStripeID, formed: in.sw.t}
+		in.nextStripeID++
 		if in.sw.adaptive != nil {
 			in.voqs[p.Out].committed++
 		}
@@ -179,12 +188,12 @@ func (in *inputPort) formStripes(v *voqState) {
 		for u := range st.pkts {
 			st.pkts[u].StripeSize = int32(f)
 		}
-		st.id = in.sw.nextStripeID
+		st.id = in.nextStripeID
 		st.in = in.i
 		st.out = v.out
 		st.iv = v.iv
 		st.formed = in.sw.t
-		in.sw.nextStripeID++
+		in.nextStripeID++
 		if in.sw.adaptive != nil {
 			v.committed += f
 		}
@@ -195,8 +204,8 @@ func (in *inputPort) formStripes(v *voqState) {
 // scheduleSingle places a completed size-1 stripe — one cell — into the
 // scheduler storage.
 func (in *inputPort) scheduleSingle(v *voqState, p sim.Packet) {
-	c := cell{pkt: p, stripeID: in.sw.nextStripeID, formed: in.sw.t}
-	in.sw.nextStripeID++
+	c := cell{pkt: p, stripeID: in.nextStripeID, formed: in.sw.t}
+	in.nextStripeID++
 	if in.sw.adaptive != nil {
 		v.committed++
 	}

@@ -19,25 +19,42 @@ import (
 // internal header, exactly the log2 log2 N bits the paper budgets; the
 // stripe id is carried alongside purely to power runtime assertions.
 //
-// The N x N x (log2 N + 1) FIFO bank is one slab-backed queue.Bank whose
-// queues are indexed (j*N + m)*levels + k, with one nonempty-bitmap word
+// The N x N x (log2 N + 1) FIFO bank is slab-backed queue.Bank storage
+// indexed (j*N + m)*levels + k output-major, with one nonempty-bitmap word
 // per (j, m) pair. The nested [][][]FIFO layout it replaces carried over a
 // million slice headers at N=1024 and required two pointer dereferences per
 // access; the bank makes an access one multiply-add into a contiguous
-// index arena, shares all queued cells in one node slab whose free list
-// caps memory at the stage-wide backlog high-water mark, and therefore
-// stops allocating once the workload reaches steady state. The output
-// index is the major axis because the gated grid sweep advances m by one
-// per slot for each output, which then walks the index arena and bitmap
-// sequentially.
+// index arena, shares queued cells in a node slab whose free list caps
+// memory at the backlog high-water mark, and therefore stops allocating
+// once the workload reaches steady state.
+//
+// The storage is partitioned into shards by output port: shard s owns the
+// contiguous output range [jLo, jHi) and holds those outputs' rows in its
+// own private Bank (its own slab, free list and high-water mark), so the
+// parallel engine can run one worker per shard with no shared mutable hot
+// state and the zero-alloc guarantee holds per shard. With one shard
+// (the default) the layout degenerates to PR 1's single flat bank. The
+// output index is the major axis because the gated grid sweep advances m
+// by one per slot for each output, which then walks each shard's index
+// arena and the bitmap sequentially.
 type midStage struct {
-	sw       *Switch
-	n        int
-	levels   int
-	bank     *queue.Bank[cell] // queue (j*n + m)*levels + k
-	bitmap   []uint64          // j*n + m: bit k set iff the (m,j,k) queue is nonempty
-	grids    []outputGrid      // per-output virtual grid state (gated)
+	sw         *Switch
+	n          int
+	levels     int
+	shards     []midShard
+	shardShift uint     // shard owning output j is shards[j>>shardShift]
+	bitmap     []uint64 // j*n + m: bit k set iff the (m,j,k) queue is nonempty
+	grids      []outputGrid
+}
+
+// midShard is one output-range partition of the intermediate stage. The
+// struct is padded to a cache line: workers on different shards update
+// buffered concurrently every pop/enqueue and must not false-share.
+type midShard struct {
+	jLo, jHi int
+	bank     *queue.Bank[cell] // queue ((j-jLo)*n + m)*levels + k
 	buffered int
+	_        [64]byte
 }
 
 // outputGrid is the service state of one output's virtual schedule grid: at
@@ -52,43 +69,79 @@ type outputGrid struct {
 }
 
 func newMidStage(sw *Switch) *midStage {
-	return &midStage{
+	ms := &midStage{
 		sw:     sw,
 		n:      sw.n,
 		levels: sw.levels,
-		bank:   queue.NewBank[cell](sw.n * sw.n * sw.levels),
 		bitmap: make([]uint64, sw.n*sw.n),
 		grids:  make([]outputGrid, sw.n),
 	}
+	ms.reshape(1)
+	return ms
+}
+
+// reshape repartitions the outputs into shardCount contiguous shards with
+// fresh (empty) banks. shardCount must be a power of two dividing n, and
+// the stage must be empty — the caller (SetParallelism) checks.
+func (ms *midStage) reshape(shardCount int) {
+	span := ms.n / shardCount
+	ms.shardShift = uint(bits.TrailingZeros(uint(span)))
+	ms.shards = make([]midShard, shardCount)
+	for s := range ms.shards {
+		sh := &ms.shards[s]
+		sh.jLo = s * span
+		sh.jHi = sh.jLo + span
+		sh.bank = queue.NewBank[cell](span * ms.n * ms.levels)
+	}
+}
+
+// bufferedTotal sums the per-shard packet counts.
+func (ms *midStage) bufferedTotal() int {
+	total := 0
+	for s := range ms.shards {
+		total += ms.shards[s].buffered
+	}
+	return total
 }
 
 // enqueue buffers a cell arriving at intermediate port l over the first
-// fabric.
+// fabric. Safe to call concurrently for cells destined to different shards.
 func (ms *midStage) enqueue(l int, c cell) {
 	k := dyadic.Log2(int(c.pkt.StripeSize))
-	row := int(c.pkt.Out)*ms.n + l
-	ms.bank.Push(row*ms.levels+k, c)
-	ms.bitmap[row] |= 1 << uint(k)
-	ms.buffered++
+	j := int(c.pkt.Out)
+	sh := &ms.shards[j>>ms.shardShift]
+	sh.bank.Push(((j-sh.jLo)*ms.n+l)*ms.levels+k, c)
+	ms.bitmap[j*ms.n+l] |= 1 << uint(k)
+	sh.buffered++
 }
 
-// step executes one second-fabric slot.
+// step executes one second-fabric slot sequentially: every popped cell is
+// emitted immediately, in output order (gated) or intermediate-port order
+// (greedy). The parallel engine runs the same pops shard-by-shard and
+// replays the emissions in this exact order, so the two are
+// trace-identical.
 func (ms *midStage) step(t sim.Slot, deliver sim.DeliverFunc) {
 	if ms.sw.cfg.Scheduler == GatedLSF {
 		for j := 0; j < ms.n; j++ {
-			ms.stepOutputGated(j, t, deliver)
+			if c, ok := ms.popOutputGated(j, t); ok {
+				ms.sw.emit(c, t, deliver)
+			}
 		}
 		return
 	}
 	for m := 0; m < ms.n; m++ {
-		ms.stepPortGreedy(m, t, deliver)
+		if c, ok := ms.popPortGreedy(m, t); ok {
+			ms.sw.emit(c, t, deliver)
+		}
 	}
 }
 
-// stepOutputGated advances output j's virtual grid by one slot. The fabric
-// connects output j to intermediate port m = (j + t) mod N, i.e. the
-// service sweeps the grid rows top to bottom, one per slot.
-func (ms *midStage) stepOutputGated(j int, t sim.Slot, deliver sim.DeliverFunc) {
+// popOutputGated advances output j's virtual grid by one slot and returns
+// the cell (if any) that departs. The fabric connects output j to
+// intermediate port m = (j + t) mod N, i.e. the service sweeps the grid
+// rows top to bottom, one per slot. It touches only output j's shard
+// state, so distinct shards may pop concurrently.
+func (ms *midStage) popOutputGated(j int, t sim.Slot) (cell, bool) {
 	g := &ms.grids[j]
 	m := ms.sw.intermediateFor(j, t)
 	if g.serving {
@@ -105,8 +158,7 @@ func (ms *midStage) stepOutputGated(j int, t sim.Slot, deliver sim.DeliverFunc) 
 		if g.next == g.iv.Size {
 			g.serving = false
 		}
-		ms.deliverCell(c, t, deliver)
-		return
+		return c, true
 	}
 	// Start the largest stripe whose interval begins at row m and whose
 	// head packet has reached this port. Every size-2^k packet queued at a
@@ -117,7 +169,7 @@ func (ms *midStage) stepOutputGated(j int, t sim.Slot, deliver sim.DeliverFunc) 
 	// if set, are mid-stripe packets that only the serving branch drains.
 	bm := ms.bitmap[j*ms.n+m] & (uint64(2*dyadic.MaxSizeStartingAt(m, ms.n)) - 1)
 	if bm == 0 {
-		return
+		return cell{}, false
 	}
 	k := bits.Len64(bm) - 1
 	c := ms.pop(m, j, k)
@@ -127,48 +179,41 @@ func (ms *midStage) stepOutputGated(j int, t sim.Slot, deliver sim.DeliverFunc) 
 		g.next = 1
 		g.id = c.stripeID
 	}
-	ms.deliverCell(c, t, deliver)
+	return c, true
 }
 
-// stepPortGreedy is the stripe-oblivious variant: intermediate port m scans
+// popPortGreedy is the stripe-oblivious variant: intermediate port m scans
 // its own row of the connected output's grid from largest stripe size to
-// smallest and forwards the first head-of-line packet found.
-func (ms *midStage) stepPortGreedy(m int, t sim.Slot, deliver sim.DeliverFunc) {
+// smallest and returns the first head-of-line packet found. The connected
+// output j = secondStage(m, t) determines the owning shard.
+func (ms *midStage) popPortGreedy(m int, t sim.Slot) (cell, bool) {
 	j := ms.sw.secondStage(m, t)
 	bm := ms.bitmap[j*ms.n+m]
 	if bm == 0 {
-		return
+		return cell{}, false
 	}
 	k := bits.Len64(bm) - 1
-	c := ms.pop(m, j, k)
-	ms.deliverCell(c, t, deliver)
+	return ms.pop(m, j, k), true
 }
 
 func (ms *midStage) pop(m, j, k int) cell {
-	row := j*ms.n + m
-	q := row*ms.levels + k
-	c := ms.bank.Pop(q) // panics on an empty queue, guarding the bitmap
-	if ms.bank.Empty(q) {
-		ms.bitmap[row] &^= 1 << uint(k)
+	sh := &ms.shards[j>>ms.shardShift]
+	q := ((j-sh.jLo)*ms.n+m)*ms.levels + k
+	c := sh.bank.Pop(q) // panics on an empty queue, guarding the bitmap
+	if sh.bank.Empty(q) {
+		ms.bitmap[j*ms.n+m] &^= 1 << uint(k)
 	}
+	sh.buffered--
 	return c
-}
-
-func (ms *midStage) deliverCell(c cell, t sim.Slot, deliver sim.DeliverFunc) {
-	ms.buffered--
-	ms.sw.breakdown.record(c, t)
-	ms.sw.onDelivered(c.pkt)
-	if deliver != nil {
-		deliver(sim.Delivery{Packet: c.pkt, Depart: t})
-	}
 }
 
 // queueLen reports, for tests, the number of packets buffered at
 // intermediate port m for output j across all stripe sizes.
 func (ms *midStage) queueLen(m, j int) int {
+	sh := &ms.shards[j>>ms.shardShift]
 	total := 0
 	for k := 0; k < ms.levels; k++ {
-		total += ms.bank.QueueLen((j*ms.n+m)*ms.levels + k)
+		total += sh.bank.QueueLen(((j-sh.jLo)*ms.n+m)*ms.levels + k)
 	}
 	return total
 }

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"sprinklers/internal/sim"
+)
+
+// Sharded parallel slot execution.
+//
+// The switch is partitioned twice by the same power-of-two worker count P:
+// the intermediate stage by output port (shard w owns outputs
+// [w*N/P, (w+1)*N/P) — its rows of the output-major bank, its bitmap words
+// and its virtual grids) and the input side by input port (worker w owns
+// inputs [w*N/P, (w+1)*N/P) — their VOQs, stripe FIFOs and adaptive count
+// rows). Each worker therefore touches only state it owns; the only
+// cross-shard traffic is first-fabric transmissions whose destination
+// output lives on another shard, and those are batched once per slot
+// through per-(producer, consumer) handoff buffers, so shards never
+// contend mid-slot and each shard's Bank keeps its own free list — PR 1's
+// zero-alloc steady state holds per shard.
+//
+// # Trace identity
+//
+// Parallel execution is trace-identical to sequential for any P: the same
+// deliveries in the same order with the same timestamps, so cache keys,
+// checkpoint bytes and replica fingerprints are unchanged and parallelism
+// stays pure execution policy. The argument, phase by phase of one slot
+// (sequential order: arrivals, second fabric with emissions, first fabric
+// enqueues, adaptive window close):
+//
+//   - Second-fabric pops touch only the owning shard's mid state, and the
+//     per-slot fabric connection visits each (output, intermediate) row at
+//     most once, so the pops commute across shards. Every popped cell is
+//     recorded in a per-slot array indexed by output (gated) or
+//     intermediate port (greedy) — each index is written by exactly one
+//     shard — and the coordinator replays the emissions (delay accounting,
+//     adaptive clearance, the delivery callback) by scanning that array in
+//     ascending order: exactly the sequential emission order.
+//   - Arrivals mutate only the destination input's state, so applying them
+//     on the owning worker, in arrival order, is equivalent to the
+//     sequential inline application. Stripe IDs come from per-input
+//     spaces, so formation shares nothing.
+//   - First-fabric serves read and mutate only the owning input's state.
+//     Each transmitted cell is appended to hand[producer][consumer]; after
+//     a barrier each consumer drains its column. Within one slot the first
+//     fabric maps distinct inputs to distinct intermediate ports, so all
+//     enqueues of a slot target distinct (output, intermediate) rows and
+//     their order cannot affect any queue's contents.
+//   - Without adaptation, second-fabric emissions touch no input state and
+//     serves touch no mid state, so stage 2, arrival application and
+//     stage 1 all run concurrently in one phase (two barriers per slot).
+//     With adaptation, an emission can complete a pending resize and
+//     re-form stripes at the packet's *input* — state the same slot's
+//     serve observes — so the slot runs in three phases: (stage 2 +
+//     arrivals), replay emissions on the coordinator, serves, handoff
+//     drain, then the sequential window close.
+//
+// The switch's RNG is construction-only and the traffic source runs on the
+// coordinator, so the random draw sequence is untouched by P.
+type parState struct {
+	p          int
+	inputShift uint // worker owning input i is i >> inputShift
+	running    bool
+
+	pend    [][]sim.Packet // pend[w]: buffered arrivals for worker w's inputs
+	hand    [][][]handoff  // hand[producer][consumer]: cross-shard first-fabric batches
+	outCell []cell         // stage-2 pops, indexed by output j (gated) or port m (greedy)
+	outSet  []bool
+
+	cmd  []chan parCmd // per-worker phase commands
+	done chan struct{} // shared completion acks, capacity p
+}
+
+// handoff is one first-fabric transmission: the cell and the intermediate
+// port l it lands on.
+type handoff struct {
+	l int32
+	c cell
+}
+
+type parCmd uint8
+
+const (
+	// cmdSlot is the combined non-adaptive phase: stage-2 pops for the
+	// worker's outputs, arrival application and stage-1 serves for its
+	// inputs.
+	cmdSlot parCmd = iota
+	// cmdPopArrive is the adaptive first phase: stage-2 pops and arrival
+	// application only (serves wait for the coordinator's replay).
+	cmdPopArrive
+	// cmdServe is the adaptive second phase: stage-1 serves.
+	cmdServe
+	// cmdDrain enqueues the handoff batches addressed to this worker's
+	// shard.
+	cmdDrain
+	// cmdQuit parks the worker permanently.
+	cmdQuit
+)
+
+// SetParallelism reshapes the switch for p shard workers and starts them.
+// p is clamped to [1, N] and rounded down to a power of two; changing the
+// shard count requires an empty switch (the mid banks are rebuilt), so set
+// parallelism before offering traffic. p <= 1 stops any running workers
+// and returns the switch to plain sequential execution. Sequential
+// execution over an already-sharded switch (after StopWorkers) and
+// parallel execution are both trace-identical to the never-sharded
+// switch, so parallelism never leaks into results.
+func (s *Switch) SetParallelism(p int) error {
+	if p < 1 {
+		p = 1
+	}
+	if p > s.n {
+		p = s.n
+	}
+	p = 1 << uint(bits.Len(uint(p))-1) // round down to a power of two
+	if p != len(s.mid.shards) {
+		if s.Backlog() != 0 {
+			return fmt.Errorf("core: cannot reshape a non-empty switch to parallelism %d (backlog %d)",
+				p, s.Backlog())
+		}
+		s.StopWorkers()
+		s.mid.reshape(p)
+		s.par = nil
+	}
+	if p == 1 {
+		s.StopWorkers()
+		s.par = nil
+		return nil
+	}
+	if s.par == nil {
+		s.par = newParState(s.n, p)
+	}
+	if !s.par.running {
+		s.par.running = true
+		for w := 0; w < p; w++ {
+			go s.worker(w)
+		}
+	}
+	return nil
+}
+
+// Parallelism reports the number of shard workers currently running (1
+// when execution is sequential).
+func (s *Switch) Parallelism() int {
+	if s.par != nil && s.par.running {
+		return s.par.p
+	}
+	return 1
+}
+
+// StopWorkers parks the shard workers. The shard layout is kept — the
+// sequential step iterates the same shards in order, so stopping workers
+// never changes the trace — and SetParallelism restarts them. Always stop
+// workers when done driving a parallelized switch, or its goroutines (and
+// the switch) are never reclaimed; sim.Run does this automatically.
+func (s *Switch) StopWorkers() {
+	if s.par == nil || !s.par.running {
+		return
+	}
+	s.par.broadcast(cmdQuit)
+	s.par.wait()
+	s.par.running = false
+	// Arrivals buffered since the last Step are applied inline so the
+	// switch is in the same state a sequential Arrive would have left.
+	for w := range s.par.pend {
+		for _, p := range s.par.pend[w] {
+			s.applyArrival(p)
+		}
+		s.par.pend[w] = s.par.pend[w][:0]
+	}
+}
+
+func newParState(n, p int) *parState {
+	span := n / p
+	ps := &parState{
+		p:          p,
+		inputShift: uint(bits.TrailingZeros(uint(span))),
+		pend:       make([][]sim.Packet, p),
+		hand:       make([][][]handoff, p),
+		outCell:    make([]cell, n),
+		outSet:     make([]bool, n),
+		cmd:        make([]chan parCmd, p),
+		done:       make(chan struct{}, p),
+	}
+	for w := 0; w < p; w++ {
+		ps.hand[w] = make([][]handoff, p)
+		ps.cmd[w] = make(chan parCmd, 1)
+	}
+	return ps
+}
+
+func (ps *parState) broadcast(c parCmd) {
+	for _, ch := range ps.cmd {
+		ch <- c
+	}
+}
+
+func (ps *parState) wait() {
+	for i := 0; i < ps.p; i++ {
+		<-ps.done
+	}
+}
+
+// stepParallel executes one slot across the shard workers. See the
+// package-level trace-identity argument for why each phase split is sound.
+func (s *Switch) stepParallel(deliver sim.DeliverFunc) {
+	t := s.t
+	ps := s.par
+	if s.adaptive == nil {
+		ps.broadcast(cmdSlot)
+		ps.wait()
+		ps.broadcast(cmdDrain)
+		// The replay touches no mid state, so it overlaps the drain.
+		s.replay(t, deliver)
+		ps.wait()
+	} else {
+		ps.broadcast(cmdPopArrive)
+		ps.wait()
+		s.replay(t, deliver) // may finish resizes: inputs are quiescent here
+		ps.broadcast(cmdServe)
+		ps.wait()
+		ps.broadcast(cmdDrain)
+		ps.wait()
+		s.adaptive.onSlotEnd(t)
+	}
+	s.t++
+}
+
+// replay emits the slot's stage-2 deliveries in ascending index order —
+// the sequential emission order — on the coordinator goroutine.
+func (s *Switch) replay(t sim.Slot, deliver sim.DeliverFunc) {
+	ps := s.par
+	for idx := range ps.outSet {
+		if ps.outSet[idx] {
+			ps.outSet[idx] = false
+			s.emit(ps.outCell[idx], t, deliver)
+		}
+	}
+}
+
+// worker is the shard-w goroutine: it owns mid shard w and input range w
+// and executes the phase each command names. A lockstep-assertion panic
+// inside a worker crashes the process like its sequential counterpart.
+func (s *Switch) worker(w int) {
+	for cmd := range s.par.cmd[w] {
+		switch cmd {
+		case cmdSlot:
+			s.workerPops(w)
+			s.workerArrivals(w)
+			s.workerServes(w)
+		case cmdPopArrive:
+			s.workerPops(w)
+			s.workerArrivals(w)
+		case cmdServe:
+			s.workerServes(w)
+		case cmdDrain:
+			s.workerDrain(w)
+		case cmdQuit:
+			s.par.done <- struct{}{}
+			return
+		}
+		s.par.done <- struct{}{}
+	}
+}
+
+// workerPops runs the second fabric for shard w's outputs, parking each
+// popped cell at its replay index. Gated iterates outputs (replay index
+// j); greedy iterates the intermediate ports connected to the shard's
+// outputs this slot (replay index m). Both visit exactly the rows shard w
+// owns.
+func (s *Switch) workerPops(w int) {
+	sh := &s.mid.shards[w]
+	ps := s.par
+	t := s.t
+	if s.cfg.Scheduler == GatedLSF {
+		for j := sh.jLo; j < sh.jHi; j++ {
+			if c, ok := s.mid.popOutputGated(j, t); ok {
+				ps.outCell[j] = c
+				ps.outSet[j] = true
+			}
+		}
+		return
+	}
+	for j := sh.jLo; j < sh.jHi; j++ {
+		m := s.intermediateFor(j, t)
+		if c, ok := s.mid.popPortGreedy(m, t); ok {
+			ps.outCell[m] = c
+			ps.outSet[m] = true
+		}
+	}
+}
+
+// workerArrivals applies the arrivals buffered for worker w's inputs, in
+// arrival order.
+func (s *Switch) workerArrivals(w int) {
+	pend := s.par.pend[w]
+	for i := range pend {
+		s.applyArrival(pend[i])
+	}
+	s.par.pend[w] = pend[:0]
+}
+
+// workerServes runs the first fabric for worker w's inputs, batching each
+// transmitted cell into the handoff buffer of the shard owning its output.
+func (s *Switch) workerServes(w int) {
+	ps := s.par
+	t := s.t
+	lo := w << ps.inputShift
+	hi := lo + 1<<ps.inputShift
+	for i := lo; i < hi; i++ {
+		if c, ok := s.inputs[i].serve(t); ok {
+			dst := int(c.pkt.Out) >> s.mid.shardShift
+			ps.hand[w][dst] = append(ps.hand[w][dst],
+				handoff{l: int32(s.firstStage(i, t)), c: c})
+		}
+	}
+}
+
+// workerDrain enqueues every handoff batch addressed to shard w. Producer
+// order is fixed but irrelevant: one slot's enqueues all target distinct
+// rows.
+func (s *Switch) workerDrain(w int) {
+	ps := s.par
+	for prod := 0; prod < ps.p; prod++ {
+		h := ps.hand[prod][w]
+		for i := range h {
+			s.mid.enqueue(int(h[i].l), h[i].c)
+		}
+		ps.hand[prod][w] = h[:0]
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"sprinklers/internal/sim"
+	"sprinklers/internal/traffic"
+)
+
+// parallelTrace drives cfg under the given workload seed for slots slots at
+// the requested parallelism and returns the byte-serialized delivery trace
+// plus the end-of-run accounting. Every field of every delivery (and the
+// delivery order) lands in the byte stream, so two equal traces mean the
+// runs were observationally identical.
+func parallelTrace(t *testing.T, cfg Config, swSeed, srcSeed int64, slots, par int) (trace []byte, backlog int, bd DelayBreakdown, resizes int64) {
+	t.Helper()
+	cfg.Rand = rand.New(rand.NewSource(swSeed))
+	sw := MustNew(cfg)
+	if err := sw.SetParallelism(par); err != nil {
+		t.Fatalf("SetParallelism(%d): %v", par, err)
+	}
+	defer sw.StopWorkers()
+	m := traffic.Zipf(cfg.N, 0.85, 1.2)
+	src := traffic.NewBernoulli(m, rand.New(rand.NewSource(srcSeed)))
+	var buf bytes.Buffer
+	deliver := func(d sim.Delivery) {
+		binary.Write(&buf, binary.LittleEndian, d.Packet.ID)      //nolint:errcheck
+		binary.Write(&buf, binary.LittleEndian, d.Packet.Seq)     //nolint:errcheck
+		binary.Write(&buf, binary.LittleEndian, d.Packet.Arrival) //nolint:errcheck
+		binary.Write(&buf, binary.LittleEndian, d.Packet.In)      //nolint:errcheck
+		binary.Write(&buf, binary.LittleEndian, d.Packet.Out)     //nolint:errcheck
+		binary.Write(&buf, binary.LittleEndian, d.Depart)         //nolint:errcheck
+	}
+	for i := 0; i < slots; i++ {
+		src.Next(sw.Now(), sw.Arrive)
+		sw.Step(deliver)
+	}
+	return buf.Bytes(), sw.Backlog(), sw.DelayBreakdown(), sw.Resizes()
+}
+
+// checkParallelDeterminism asserts that the sharded engine produces a
+// byte-identical delivery trace and identical accounting for every tested
+// worker count.
+func checkParallelDeterminism(t *testing.T, cfg Config, slots int) {
+	t.Helper()
+	want, wantBacklog, wantBD, wantResizes := parallelTrace(t, cfg, 7, 11, slots, 1)
+	if len(want) == 0 {
+		t.Fatal("sequential run delivered nothing; workload misconfigured")
+	}
+	for _, par := range []int{2, 8} {
+		got, backlog, bd, resizes := parallelTrace(t, cfg, 7, 11, slots, par)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("P=%d delivery trace diverged from sequential (%d vs %d bytes)",
+				par, len(got), len(want))
+		}
+		if backlog != wantBacklog {
+			t.Fatalf("P=%d backlog %d, sequential %d", par, backlog, wantBacklog)
+		}
+		if bd != wantBD {
+			t.Fatalf("P=%d delay breakdown %+v, sequential %+v", par, bd, wantBD)
+		}
+		if resizes != wantResizes {
+			t.Fatalf("P=%d resizes %d, sequential %d", par, resizes, wantResizes)
+		}
+	}
+}
+
+// TestParallelDeterminismGated: the sharded engine under the gated
+// (order-preserving) scheduler is trace-identical to sequential execution.
+func TestParallelDeterminismGated(t *testing.T) {
+	const n = 32
+	m := traffic.Zipf(n, 0.85, 1.2)
+	rates := make([][]float64, n)
+	for i := range rates {
+		rates[i] = m.Row(i)
+	}
+	checkParallelDeterminism(t, Config{N: n, Rates: rates}, 20_000)
+}
+
+// TestParallelDeterminismGreedy covers the greedy row-scan scheduler, whose
+// per-slot iteration (by intermediate port, not output) exercises the other
+// replay-index mapping.
+func TestParallelDeterminismGreedy(t *testing.T) {
+	const n = 32
+	m := traffic.Zipf(n, 0.85, 1.2)
+	rates := make([][]float64, n)
+	for i := range rates {
+		rates[i] = m.Row(i)
+	}
+	checkParallelDeterminism(t, Config{N: n, Rates: rates, Scheduler: GreedyLSF}, 20_000)
+}
+
+// TestParallelDeterminismAdaptive exercises the three-phase adaptive
+// protocol: resizes complete inside delivery replay (mutating input-side
+// state the same slot's serves observe), so this is the strongest ordering
+// test. The switch starts unprovisioned with a fast window, forcing real
+// resizes during the run.
+func TestParallelDeterminismAdaptive(t *testing.T) {
+	const n = 32
+	cfg := Config{N: n, Adaptive: &AdaptiveConfig{Window: 512, HoldWindows: 2}}
+	_, _, _, resizes := parallelTrace(t, cfg, 7, 11, 40_000, 1)
+	if resizes == 0 {
+		t.Fatal("workload caused no resizes; adaptive path not exercised")
+	}
+	checkParallelDeterminism(t, cfg, 40_000)
+}
+
+// TestParallelStopResumeDeterminism checks that stopping the workers
+// mid-run (sequential execution over the sharded layout) and restarting
+// them later stays on the sequential trace — parallelism is a pure
+// execution policy that can change between any two slots.
+func TestParallelStopResumeDeterminism(t *testing.T) {
+	const n, slots = 32, 12_000
+	m := traffic.Zipf(n, 0.85, 1.2)
+	rates := make([][]float64, n)
+	for i := range rates {
+		rates[i] = m.Row(i)
+	}
+	cfg := Config{N: n, Rates: rates}
+
+	want, _, _, _ := parallelTrace(t, cfg, 7, 11, slots, 1)
+
+	cfg.Rand = rand.New(rand.NewSource(7))
+	sw := MustNew(cfg)
+	if err := sw.SetParallelism(4); err != nil {
+		t.Fatal(err)
+	}
+	defer sw.StopWorkers()
+	src := traffic.NewBernoulli(m, rand.New(rand.NewSource(11)))
+	var buf bytes.Buffer
+	deliver := func(d sim.Delivery) {
+		binary.Write(&buf, binary.LittleEndian, d.Packet.ID)      //nolint:errcheck
+		binary.Write(&buf, binary.LittleEndian, d.Packet.Seq)     //nolint:errcheck
+		binary.Write(&buf, binary.LittleEndian, d.Packet.Arrival) //nolint:errcheck
+		binary.Write(&buf, binary.LittleEndian, d.Packet.In)      //nolint:errcheck
+		binary.Write(&buf, binary.LittleEndian, d.Packet.Out)     //nolint:errcheck
+		binary.Write(&buf, binary.LittleEndian, d.Depart)         //nolint:errcheck
+	}
+	for i := 0; i < slots; i++ {
+		switch i {
+		case slots / 3:
+			sw.StopWorkers() // sequential over 4 shards
+		case 2 * slots / 3:
+			if err := sw.SetParallelism(4); err != nil {
+				t.Fatal(err)
+			}
+		}
+		src.Next(sw.Now(), sw.Arrive)
+		sw.Step(deliver)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("stop/resume trace diverged from sequential")
+	}
+}
+
+// TestSetParallelismClamping: worker counts are clamped to powers of two
+// within [1, N], and reshaping a non-empty switch is refused.
+func TestSetParallelismClamping(t *testing.T) {
+	sw := MustNew(Config{N: 16})
+	if err := sw.SetParallelism(6); err != nil { // rounds down to 4
+		t.Fatal(err)
+	}
+	defer sw.StopWorkers()
+	if got := sw.Parallelism(); got != 4 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(6), want 4", got)
+	}
+	if err := sw.SetParallelism(64); err != nil { // clamped to N
+		t.Fatal(err)
+	}
+	if got := sw.Parallelism(); got != 16 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(64), want 16", got)
+	}
+
+	sw.Arrive(sim.Packet{In: 3, Out: 5, Arrival: sw.Now()})
+	sw.Step(nil)
+	if err := sw.SetParallelism(2); err == nil {
+		t.Fatal("reshaping a non-empty switch succeeded, want error")
+	}
+	if err := sw.SetParallelism(16); err != nil { // same shard count: no reshape
+		t.Fatalf("re-requesting the current parallelism errored: %v", err)
+	}
+}
+
+// TestParallelStepZeroAllocSteadyState is the per-shard allocation guard:
+// once every shard's bank, handoff buffer and arrival buffer has reached
+// its high-water mark, a parallel steady-state slot must not allocate —
+// on any goroutine (AllocsPerRun counts process-wide mallocs).
+func TestParallelStepZeroAllocSteadyState(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sch  Scheduler
+	}{{"gated", GatedLSF}, {"greedy", GreedyLSF}} {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 32
+			m := traffic.Zipf(n, 0.85, 1.2)
+			rates := make([][]float64, n)
+			for i := range rates {
+				rates[i] = m.Row(i)
+			}
+			sw := MustNew(Config{N: n, Rates: rates, Scheduler: tc.sch,
+				Rand: rand.New(rand.NewSource(41))})
+			if err := sw.SetParallelism(4); err != nil {
+				t.Fatal(err)
+			}
+			defer sw.StopWorkers()
+			src := traffic.NewBernoulli(m, rand.New(rand.NewSource(42)))
+			arrive := sw.Arrive
+			driveSlots(sw, src, arrive, 60_000)
+
+			if allocs := testing.AllocsPerRun(200, func() {
+				src.Next(sw.Now(), arrive)
+				sw.Step(nil)
+			}); allocs != 0 {
+				t.Fatalf("steady-state parallel Step allocated %v times per slot, want 0", allocs)
+			}
+		})
+	}
+}

@@ -147,7 +147,7 @@ func TestBurstyArrivalsStillOrdered(t *testing.T) {
 	sw := New(8)
 	src := traffic.NewOnOff(m, 20, rand.New(rand.NewSource(33)))
 	reorder := stats.NewReorder(8)
-	sim.Run(sw, src, sim.RunConfig{Warmup: 10000, Slots: 80000}, reorder)
+	sim.Run(sw, src, reorder, sim.WithWarmup(10000), sim.WithSlots(80000))
 	if reorder.Reordered() != 0 {
 		t.Fatalf("reordered %d packets", reorder.Reordered())
 	}

@@ -58,8 +58,8 @@ func TestAllSwitchesConformUnderAllTraffic(t *testing.T) {
 				delay := &stats.Delay{}
 				reorder := stats.NewReorder(n)
 				offered, delivered := sim.Run(sw, src,
-					sim.RunConfig{Warmup: slots / 5, Slots: slots},
-					stats.Multi{delay, reorder})
+					stats.Multi{delay, reorder},
+					sim.WithWarmup(slots/5), sim.WithSlots(slots))
 				if v := sw.Violation(); v != "" {
 					t.Fatalf("conformance violation: %s", v)
 				}
@@ -105,7 +105,7 @@ func TestBurstyArrivalsAllOrderPreserving(t *testing.T) {
 			sw := conformance.Wrap(inner)
 			src := traffic.NewOnOff(m, 24, rand.New(rand.NewSource(4)))
 			reorder := stats.NewReorder(n)
-			sim.Run(sw, src, sim.RunConfig{Warmup: 8000, Slots: 60000}, reorder)
+			sim.Run(sw, src, reorder, sim.WithWarmup(8000), sim.WithSlots(60000))
 			if v := sw.Violation(); v != "" {
 				t.Fatalf("conformance violation: %s", v)
 			}
@@ -171,7 +171,7 @@ func TestLongRunStability(t *testing.T) {
 				t.Fatal(err)
 			}
 			src := traffic.NewBernoulli(m, rand.New(rand.NewSource(8)))
-			sim.Run(inner, src, sim.RunConfig{Slots: 200000}, nil)
+			sim.Run(inner, src, nil, sim.WithSlots(200000))
 			backlogMid := inner.Backlog()
 			// Second half starting from the warm state: backlog must not
 			// grow materially.

@@ -54,7 +54,7 @@ func TestConformanceAcrossMatrixShift(t *testing.T) {
 			sw := conformance.Wrap(inner)
 			src := traffic.NewDynamic(m, events, 0, rand.New(rand.NewSource(2)))
 			reorder := stats.NewReorder(n)
-			sim.Run(sw, src, sim.RunConfig{Warmup: slots / 5, Slots: slots}, reorder)
+			sim.Run(sw, src, reorder, sim.WithWarmup(slots/5), sim.WithSlots(slots))
 			if v := sw.Violation(); v != "" {
 				t.Fatalf("conformance violation across the shift: %s", v)
 			}

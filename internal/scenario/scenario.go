@@ -56,11 +56,15 @@ type Config struct {
 	// Seed makes the whole replay — workload, scenario randomness, switch,
 	// arrival process — deterministic.
 	Seed int64
+	// Parallelism shards the switch's slot execution across this many
+	// workers when the architecture supports it (sim.WithParallelism
+	// semantics: a no-op otherwise, and trace-identical for any value).
+	Parallelism int
 	// OnSlot, when non-nil, is invoked once per slot after the windowed
 	// collector's own bookkeeping — the hook fault-injection harnesses use
 	// to abort a replay at an exact slot.
 	OnSlot func(sim.Slot)
-	// Cancel, when non-nil, aborts the replay early (sim.RunConfig.Cancel
+	// Cancel, when non-nil, aborts the replay early (sim.WithCancel
 	// semantics). Run then returns ErrCanceled instead of a partial,
 	// misleading Result.
 	Cancel <-chan struct{}
@@ -147,12 +151,15 @@ func Run(cfg Config) (*Result, error) {
 		inner := onSlot
 		onSlot = func(t sim.Slot) { inner(t); extra(t) }
 	}
-	offered, delivered := sim.Run(sw, windowed.WrapSource(src), sim.RunConfig{
-		Warmup: cfg.Warmup,
-		Slots:  cfg.Slots,
-		OnSlot: onSlot,
-		Cancel: cfg.Cancel,
-	}, stats.Multi{delay, windowed})
+	runOpts := []sim.Option{
+		sim.WithWarmup(cfg.Warmup), sim.WithSlots(cfg.Slots),
+		sim.WithParallelism(cfg.Parallelism), sim.WithSlotHook(onSlot),
+	}
+	if cfg.Cancel != nil {
+		runOpts = append(runOpts, sim.WithCancel(cfg.Cancel))
+	}
+	offered, delivered := sim.Run(sw, windowed.WrapSource(src),
+		stats.Multi{delay, windowed}, runOpts...)
 	if cfg.Cancel != nil {
 		select {
 		case <-cfg.Cancel:

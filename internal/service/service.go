@@ -77,6 +77,12 @@ type Options struct {
 	CacheDir string
 	// Parallelism bounds each study's worker pool; 0 = GOMAXPROCS.
 	Parallelism int
+	// PointParallelism shards each replica's slot execution across this
+	// many goroutines on this node (sim.WithParallelism semantics) —
+	// execution policy that never enters cache keys or replica seeds, so
+	// nodes in one cluster may disagree on it and still produce identical
+	// bytes. 0/1 = sequential.
+	PointParallelism int
 	// Logf, when set, receives one line per notable server event.
 	Logf func(format string, args ...any)
 
@@ -107,9 +113,10 @@ type Options struct {
 // and the table of known studies. Create one with New, expose it with
 // Handler, stop it with Shutdown.
 type Server struct {
-	cache *resultcache.Store
-	par   int
-	logf  func(format string, args ...any)
+	cache    *resultcache.Store
+	par      int
+	pointPar int
+	logf     func(format string, args ...any)
 
 	cluster     *cluster.Coordinator
 	fault       *faultinject.Plan
@@ -155,6 +162,7 @@ func New(opts Options) (*Server, error) {
 	s := &Server{
 		cache:       store,
 		par:         opts.Parallelism,
+		pointPar:    opts.PointParallelism,
 		logf:        opts.Logf,
 		cluster:     opts.Cluster,
 		fault:       opts.Fault,
@@ -267,10 +275,11 @@ func (s *Server) run(ctx context.Context, st *study) {
 	defer st.cancel()
 	ckpt := filepath.Join(s.cache.Dir(), "studies", st.id+".jsonl")
 	cfg := experiment.StudyConfig{
-		Parallelism: s.par,
-		Cache:       s.cache,
-		Counters:    &s.counters,
-		ResultsPath: ckpt,
+		Parallelism:      s.par,
+		PointParallelism: s.pointPar,
+		Cache:            s.cache,
+		Counters:         &s.counters,
+		ResultsPath:      ckpt,
 		Progress: func(done, total int, r experiment.PointResult) {
 			st.progress(done, total, r)
 		},

@@ -145,7 +145,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// 3. Simulate.
-	p, err := experiment.RunReplicaJob(ctx, spec, req.Point, req.Rep, &s.counters, onSlot)
+	p, err := experiment.RunReplicaJob(ctx, spec, req.Point, req.Rep, s.pointPar, &s.counters, onSlot)
 	if crash != nil {
 		select {
 		case <-crash.Done():

@@ -1,5 +1,7 @@
 package sim
 
+import "context"
+
 // Source generates packet arrivals. Implementations live in internal/traffic;
 // the interface is defined here so that the engine does not depend on any
 // concrete workload.
@@ -24,44 +26,105 @@ type ObserverFunc func(Delivery)
 // Observe implements Observer.
 func (f ObserverFunc) Observe(d Delivery) { f(d) }
 
-// RunConfig controls a simulation run.
-type RunConfig struct {
-	// Warmup is the number of initial slots whose deliveries are passed to
-	// the observer with Warm == false semantics: the runner simply does
-	// not forward deliveries of packets that arrived before the warmup
-	// ended. Statistics therefore cover the steady state only.
-	Warmup Slot
-	// Slots is the number of measured slots executed after the warmup.
-	Slots Slot
-	// OnSlot, when non-nil, is invoked once per slot after the switch's
-	// Step completes (warmup slots included), with the slot just executed.
-	// The windowed time-series instruments hook it to close measurement
-	// windows and sample backlog at window boundaries.
-	OnSlot func(t Slot)
-	// Cancel, when non-nil, makes Run return early — with the counts
-	// accumulated so far — once a receive from it succeeds (e.g. a closed
-	// context.Done channel). The channel is polled every cancelCheckSlots
-	// slots, keeping the per-slot hot path free of channel operations, so
-	// cancellation latency is bounded by cancelCheckSlots slot executions.
-	// Callers distinguish a canceled run from a finished one by checking
-	// their context, not the returned counts.
-	Cancel <-chan struct{}
+// Parallelizable is implemented by switches whose slot execution can be
+// sharded across worker goroutines (currently the Sprinklers core switch).
+// Parallel execution must be trace-identical to sequential execution —
+// the same deliveries in the same order — so parallelism is pure execution
+// policy: it never changes results, cache identities or checkpoint bytes.
+type Parallelizable interface {
+	// SetParallelism reshapes the switch for p shard workers and starts
+	// them. Implementations may clamp p (the core switch rounds down to a
+	// power of two within [1, N]) and must refuse — with an error — any
+	// reshape that would have to migrate buffered packets.
+	SetParallelism(p int) error
+	// Parallelism reports the number of workers currently running (1 when
+	// execution is sequential).
+	Parallelism() int
+	// StopWorkers parks the shard workers; execution falls back to the
+	// (trace-identical) sequential path and SetParallelism may restart
+	// them. Callers that started workers must stop them, or the worker
+	// goroutines pin the switch forever; Run handles this itself.
+	StopWorkers()
 }
 
-// cancelCheckSlots is how often Run polls RunConfig.Cancel. At ~1µs/slot
+// Option configures a Run. The zero configuration runs zero slots, so
+// every call passes at least WithSlots.
+type Option func(*runOptions)
+
+type runOptions struct {
+	warmup      Slot
+	slots       Slot
+	hook        func(Slot)
+	cancel      <-chan struct{}
+	parallelism int
+}
+
+// WithWarmup discards the deliveries of packets that arrived during the
+// first w slots: the observer and the returned counts cover the steady
+// state only. The warmup slots are executed in addition to WithSlots.
+func WithWarmup(w Slot) Option { return func(o *runOptions) { o.warmup = w } }
+
+// WithSlots sets the number of measured slots executed after the warmup.
+func WithSlots(s Slot) Option { return func(o *runOptions) { o.slots = s } }
+
+// WithSlotHook invokes f once per slot after the switch's Step completes
+// (warmup slots included), with the slot just executed. The windowed
+// time-series instruments hook it to close measurement windows and sample
+// backlog at window boundaries; the fault injector hooks it to schedule
+// crashes.
+func WithSlotHook(f func(Slot)) Option { return func(o *runOptions) { o.hook = f } }
+
+// WithContext makes Run return early — with the counts accumulated so far
+// — once ctx is done. The context is polled every cancelCheckSlots slots,
+// keeping the per-slot hot path free of channel operations, so
+// cancellation latency is bounded by cancelCheckSlots slot executions.
+// Callers distinguish a canceled run from a finished one by checking their
+// context, not the returned counts.
+func WithContext(ctx context.Context) Option {
+	return func(o *runOptions) { o.cancel = ctx.Done() }
+}
+
+// WithCancel is WithContext for callers that hold a raw channel instead of
+// a context: a successful receive (e.g. from a closed channel) stops the
+// run at the next poll.
+func WithCancel(c <-chan struct{}) Option { return func(o *runOptions) { o.cancel = c } }
+
+// WithParallelism shards the switch's slot execution across p worker
+// goroutines for the duration of the run, when the switch supports it
+// (implements Parallelizable); on any other switch the option is a no-op,
+// so callers can thread one knob through heterogeneous studies. p <= 1
+// also is a no-op. The trace is identical for every p — see
+// Parallelizable — so this is safe to set from execution-policy
+// configuration without touching result identity.
+func WithParallelism(p int) Option { return func(o *runOptions) { o.parallelism = p } }
+
+// cancelCheckSlots is how often Run polls the cancel channel. At ~1µs/slot
 // for a large switch this bounds cancellation latency to a few
 // milliseconds while costing one predictable branch per slot.
 const cancelCheckSlots = 1024
 
-// Run drives sw with arrivals from src for cfg.Warmup+cfg.Slots slots.
-// Deliveries of packets that arrived at slot >= cfg.Warmup are forwarded to
-// obs (which may be nil). It returns the number of measured packets offered
-// and delivered, so callers can reason about residual backlog.
-func Run(sw Switch, src Source, cfg RunConfig, obs Observer) (offered, delivered int64) {
+// Run drives sw with arrivals from src for warmup+slots slots (see
+// WithWarmup and WithSlots). Deliveries of packets that arrived after the
+// warmup are forwarded to obs (which may be nil). It returns the number of
+// measured packets offered and delivered, so callers can reason about
+// residual backlog.
+func Run(sw Switch, src Source, obs Observer, opts ...Option) (offered, delivered int64) {
+	var o runOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	if sw.N() != src.N() {
 		panic("sim: switch and source port counts differ")
 	}
-	total := cfg.Warmup + cfg.Slots
+	if o.parallelism > 1 {
+		if ps, ok := sw.(Parallelizable); ok {
+			if err := ps.SetParallelism(o.parallelism); err != nil {
+				panic("sim: " + err.Error())
+			}
+			defer ps.StopWorkers()
+		}
+	}
+	total := o.warmup + o.slots
 	// Both per-slot callbacks are constructed once, outside the slot loop,
 	// so the hot loop hands the switch the same closure values every slot
 	// instead of materializing fresh ones per slot. deliver is specialized
@@ -70,7 +133,7 @@ func Run(sw Switch, src Source, cfg RunConfig, obs Observer) (offered, delivered
 	var deliver DeliverFunc
 	if obs != nil {
 		deliver = func(d Delivery) {
-			if d.Packet.Arrival < cfg.Warmup || d.Packet.Fake {
+			if d.Packet.Arrival < o.warmup || d.Packet.Fake {
 				return
 			}
 			delivered++
@@ -78,31 +141,65 @@ func Run(sw Switch, src Source, cfg RunConfig, obs Observer) (offered, delivered
 		}
 	} else {
 		deliver = func(d Delivery) {
-			if d.Packet.Arrival < cfg.Warmup || d.Packet.Fake {
+			if d.Packet.Arrival < o.warmup || d.Packet.Fake {
 				return
 			}
 			delivered++
 		}
 	}
 	arrive := func(p Packet) {
-		if p.Arrival >= cfg.Warmup {
+		if p.Arrival >= o.warmup {
 			offered++
 		}
 		sw.Arrive(p)
 	}
 	for t := Slot(0); t < total; t++ {
-		if cfg.Cancel != nil && t%cancelCheckSlots == 0 {
+		if o.cancel != nil && t%cancelCheckSlots == 0 {
 			select {
-			case <-cfg.Cancel:
+			case <-o.cancel:
 				return offered, delivered
 			default:
 			}
 		}
 		src.Next(t, arrive)
 		sw.Step(deliver)
-		if cfg.OnSlot != nil {
-			cfg.OnSlot(t)
+		if o.hook != nil {
+			o.hook(t)
 		}
 	}
 	return offered, delivered
+}
+
+// RunConfig is the previous generation's run configuration.
+//
+// Deprecated: use the Run options (WithWarmup, WithSlots, WithSlotHook,
+// WithContext/WithCancel, WithParallelism) instead; RunConfig predates
+// them and cannot express parallel execution. It is kept for one release
+// so external callers migrate at their own pace.
+type RunConfig struct {
+	// Warmup is the number of initial slots whose deliveries are filtered
+	// from the observer and the returned counts.
+	Warmup Slot
+	// Slots is the number of measured slots executed after the warmup.
+	Slots Slot
+	// OnSlot, when non-nil, is invoked once per slot after the switch's
+	// Step completes (warmup slots included).
+	OnSlot func(t Slot)
+	// Cancel, when non-nil, makes the run return early once a receive
+	// from it succeeds.
+	Cancel <-chan struct{}
+}
+
+// RunWithConfig drives sw under a legacy RunConfig.
+//
+// Deprecated: call Run with options; this shim just translates the config.
+func RunWithConfig(sw Switch, src Source, cfg RunConfig, obs Observer) (offered, delivered int64) {
+	opts := []Option{WithWarmup(cfg.Warmup), WithSlots(cfg.Slots)}
+	if cfg.OnSlot != nil {
+		opts = append(opts, WithSlotHook(cfg.OnSlot))
+	}
+	if cfg.Cancel != nil {
+		opts = append(opts, WithCancel(cfg.Cancel))
+	}
+	return Run(sw, src, obs, opts...)
 }

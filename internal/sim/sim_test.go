@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 )
@@ -140,7 +141,7 @@ func TestRunWarmupFiltering(t *testing.T) {
 	sw := newFakeSwitch(4, 3)
 	var seen []Slot
 	obs := ObserverFunc(func(d Delivery) { seen = append(seen, d.Packet.Arrival) })
-	offered, delivered := Run(sw, scriptSource{4}, RunConfig{Warmup: 10, Slots: 20}, obs)
+	offered, delivered := Run(sw, scriptSource{4}, obs, WithWarmup(10), WithSlots(20))
 	// Packets arriving in slots 10..29 are measured; those arriving in
 	// 27..29 depart after the horizon.
 	if offered != 20 {
@@ -162,7 +163,7 @@ func TestRunRejectsMismatchedSizes(t *testing.T) {
 			t.Fatal("expected panic on size mismatch")
 		}
 	}()
-	Run(newFakeSwitch(4, 0), scriptSource{8}, RunConfig{Slots: 1}, nil)
+	Run(newFakeSwitch(4, 0), scriptSource{8}, nil, WithSlots(1))
 }
 
 func TestRunSkipsFakeDeliveries(t *testing.T) {
@@ -170,7 +171,7 @@ func TestRunSkipsFakeDeliveries(t *testing.T) {
 	count := 0
 	obs := ObserverFunc(func(Delivery) { count++ })
 	fsrc := fakeSource{n: 4}
-	_, delivered := Run(sw, fsrc, RunConfig{Slots: 5}, obs)
+	_, delivered := Run(sw, fsrc, obs, WithSlots(5))
 	if delivered != 0 || count != 0 {
 		t.Fatalf("fake packets were counted: delivered=%d observed=%d", delivered, count)
 	}
@@ -191,13 +192,12 @@ func TestRunOnSlotHook(t *testing.T) {
 	var deliveredAtTick []int64
 	var delivered int64
 	obs := ObserverFunc(func(Delivery) { delivered++ })
-	Run(sw, scriptSource{4}, RunConfig{
-		Warmup: 5, Slots: 10,
-		OnSlot: func(tt Slot) {
+	Run(sw, scriptSource{4}, obs,
+		WithWarmup(5), WithSlots(10),
+		WithSlotHook(func(tt Slot) {
 			ticks = append(ticks, tt)
 			deliveredAtTick = append(deliveredAtTick, delivered)
-		},
-	}, obs)
+		}))
 	if len(ticks) != 15 {
 		t.Fatalf("OnSlot fired %d times, want 15", len(ticks))
 	}
@@ -210,5 +210,40 @@ func TestRunOnSlotHook(t *testing.T) {
 	// slot 7 must already see it delivered.
 	if deliveredAtTick[7] != 1 {
 		t.Fatalf("hook at slot 7 saw %d deliveries, want 1 (hook must run after Step)", deliveredAtTick[7])
+	}
+}
+
+// TestRunWithConfigShim: the deprecated RunConfig surface stays equivalent
+// to the options it translates to.
+func TestRunWithConfigShim(t *testing.T) {
+	hooks := 0
+	offered, delivered := RunWithConfig(newFakeSwitch(4, 3), scriptSource{4},
+		RunConfig{Warmup: 10, Slots: 20, OnSlot: func(Slot) { hooks++ }}, nil)
+	if offered != 20 || delivered != 17 || hooks != 30 {
+		t.Fatalf("shim run: offered=%d delivered=%d hooks=%d, want 20/17/30",
+			offered, delivered, hooks)
+	}
+}
+
+// TestRunWithContextCancel: a done context stops the run at the next poll
+// with the counts accumulated so far.
+func TestRunWithContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	offered, _ := Run(newFakeSwitch(4, 0), scriptSource{4}, nil,
+		WithSlots(100_000), WithContext(ctx))
+	if offered != 0 {
+		t.Fatalf("pre-canceled run offered %d packets, want 0", offered)
+	}
+}
+
+// TestRunParallelismIgnoredOnPlainSwitch: WithParallelism on a switch that
+// is not Parallelizable is a no-op, so one knob can drive heterogeneous
+// studies.
+func TestRunParallelismIgnoredOnPlainSwitch(t *testing.T) {
+	offered, delivered := Run(newFakeSwitch(4, 0), scriptSource{4}, nil,
+		WithSlots(10), WithParallelism(8))
+	if offered != 10 || delivered != 10 {
+		t.Fatalf("offered=%d delivered=%d, want 10/10", offered, delivered)
 	}
 }

@@ -37,8 +37,8 @@ type WindowPoint struct {
 
 // Windowed collects the per-window time series of a run: it observes
 // deliveries like any instrument, counts offered packets via WrapSource,
-// and closes a window whenever OnSlot crosses a boundary (hook it to
-// sim.RunConfig.OnSlot). The measured horizon [warmup, warmup+slots) is
+// and closes a window whenever OnSlot crosses a boundary (hook it via
+// sim.WithSlotHook). The measured horizon [warmup, warmup+slots) is
 // split into the given number of equal windows, with any remainder slots
 // absorbed by the last window.
 type Windowed struct {
@@ -102,7 +102,7 @@ func (c *countingSource) Next(t sim.Slot, emit func(sim.Packet)) {
 }
 
 // OnSlot closes the current window when slot t is its last slot, sampling
-// backlog at the boundary. Hook it to sim.RunConfig.OnSlot with the
+// backlog at the boundary. Hook it via sim.WithSlotHook with the
 // switch's Backlog method as the sampler; warmup slots are ignored. The
 // sampler is a thunk because it is only invoked on the handful of slots
 // where a window actually closes — Backlog is an O(N) scan on some

@@ -28,7 +28,7 @@ func Run(sw sim.Switch, m *traffic.Matrix, slots sim.Slot, seed int64) Result {
 	delay := &stats.Delay{}
 	reorder := stats.NewReorder(m.N())
 	obs := stats.Multi{delay, reorder}
-	offered, delivered := sim.Run(sw, src, sim.RunConfig{Warmup: slots / 10, Slots: slots}, obs)
+	offered, delivered := sim.Run(sw, src, obs, sim.WithWarmup(slots/10), sim.WithSlots(slots))
 	return Result{Offered: offered, Delivered: delivered, Delay: delay, Reorder: reorder}
 }
 

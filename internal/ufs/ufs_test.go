@@ -42,7 +42,7 @@ func TestOrderingUnderBurstyArrivals(t *testing.T) {
 	src := traffic.NewOnOff(m, 24, rand.New(rand.NewSource(20)))
 	delay := &stats.Delay{}
 	reorder := stats.NewReorder(8)
-	sim.Run(sw, src, sim.RunConfig{Warmup: 10000, Slots: 60000}, stats.Multi{delay, reorder})
+	sim.Run(sw, src, stats.Multi{delay, reorder}, sim.WithWarmup(10000), sim.WithSlots(60000))
 	if reorder.Reordered() != 0 {
 		t.Fatalf("reordered %d packets under bursty arrivals", reorder.Reordered())
 	}
@@ -139,7 +139,7 @@ func TestFrameBurstAtOutput(t *testing.T) {
 		lastSeq[k] = d.Packet.Seq
 		lastSlot[k] = d.Depart
 	})
-	sim.Run(sw, src, sim.RunConfig{Warmup: 5000, Slots: 50000}, obs)
+	sim.Run(sw, src, obs, sim.WithWarmup(5000), sim.WithSlots(50000))
 	if violations != 0 {
 		t.Fatalf("%d intra-frame delivery gaps; frames not arriving in one burst", violations)
 	}

@@ -55,8 +55,32 @@ type (
 	Source = sim.Source
 	// Observer consumes deliveries during a run.
 	Observer = sim.Observer
-	// RunConfig controls warmup and measurement horizons.
+	// Option configures a Run (see WithWarmup and friends).
+	Option = sim.Option
+
+	// RunConfig is the previous generation's run configuration.
+	//
+	// Deprecated: use Run options (WithWarmup, WithSlots, WithSlotHook,
+	// WithContext/WithCancel, WithParallelism); RunConfig cannot express
+	// parallel execution. RunWithConfig still accepts it.
 	RunConfig = sim.RunConfig
+)
+
+// Run options, re-exported from the engine.
+var (
+	// WithWarmup discards deliveries of packets arriving in the first w slots.
+	WithWarmup = sim.WithWarmup
+	// WithSlots sets the measured horizon executed after the warmup.
+	WithSlots = sim.WithSlots
+	// WithSlotHook invokes a callback once per executed slot.
+	WithSlotHook = sim.WithSlotHook
+	// WithContext stops the run early once the context is done.
+	WithContext = sim.WithContext
+	// WithCancel is WithContext for raw channels.
+	WithCancel = sim.WithCancel
+	// WithParallelism shards slot execution across p workers on switches
+	// that support it (trace-identical for every p; a no-op elsewhere).
+	WithParallelism = sim.WithParallelism
 )
 
 // Sprinklers switch configuration, re-exported from the core.
@@ -111,8 +135,12 @@ type (
 	ReorderStats = stats.Reorder
 )
 
-// Run drives a switch with a source; re-exported from the engine.
-var Run = sim.Run
+// Run drives a switch with a source under functional options; re-exported
+// from the engine. RunWithConfig is the deprecated RunConfig-based shim.
+var (
+	Run           = sim.Run
+	RunWithConfig = sim.RunWithConfig
+)
 
 // Architectures returns the name of every registered switch architecture
 // in canonical (paper legend) order: the seven built-in schemes plus
@@ -124,6 +152,10 @@ func Architectures() []string { return registry.ArchitectureNames() }
 // Workloads returns the name of every registered traffic workload in
 // canonical order, as accepted by the experiment harness and cmd tools.
 func Workloads() []string { return registry.WorkloadNames() }
+
+// Scenarios returns the name of every registered dynamic scenario in
+// canonical order, as accepted by experiment.Spec and cmd/scenario.
+func Scenarios() []string { return registry.ScenarioNames() }
 
 // New builds a Sprinklers switch.
 func New(cfg Config) (*SprinklersSwitch, error) { return core.New(cfg) }
@@ -144,14 +176,17 @@ func ConfigFromMatrix(m *TrafficMatrix, seed int64) Config {
 }
 
 // RunBernoulli runs sw under Bernoulli arrivals drawn from m for the given
-// number of measured slots (with a warmup of slots/5) and returns the delay
-// statistics. It panics if the switch reorders any packet — callers running
-// the non-order-preserving variants should assemble the run themselves.
-func RunBernoulli(sw Switch, m *TrafficMatrix, slots Slot, seed int64) *DelayStats {
+// number of measured slots (with a warmup of slots/5, overridable via opts)
+// and returns the delay statistics. Extra options are appended after the
+// defaults, so e.g. WithWarmup or WithParallelism take effect. It panics if
+// the switch reorders any packet — callers running the non-order-preserving
+// variants should assemble the run themselves.
+func RunBernoulli(sw Switch, m *TrafficMatrix, slots Slot, seed int64, opts ...Option) *DelayStats {
 	src := traffic.NewBernoulli(m, rand.New(rand.NewSource(seed)))
 	delay := &stats.Delay{}
 	reorder := stats.NewReorder(m.N())
-	sim.Run(sw, src, sim.RunConfig{Warmup: slots / 5, Slots: slots}, stats.Multi{delay, reorder})
+	runOpts := append([]Option{sim.WithWarmup(slots / 5), sim.WithSlots(slots)}, opts...)
+	sim.Run(sw, src, stats.Multi{delay, reorder}, runOpts...)
 	if reorder.Reordered() != 0 {
 		panic("sprinklers: switch delivered packets out of order")
 	}
