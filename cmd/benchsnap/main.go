@@ -1,10 +1,10 @@
 // Command benchsnap measures the canonical slot-stepping benchmarks and
-// writes (or checks) the machine-readable snapshot BENCH_7.json.
+// writes (or checks) the machine-readable snapshot BENCH_8.json.
 //
 // Usage:
 //
-//	benchsnap -out BENCH_7.json [-sizes 256,1024,4096] [-pars 1,2,4,8]
-//	benchsnap -check -against BENCH_7.json [-tolerance 0.10] [-out fresh.json]
+//	benchsnap -out BENCH_8.json [-sizes 256,1024,4096] [-pars 1,2,4,8]
+//	benchsnap -check -against BENCH_8.json [-tolerance 0.10] [-out fresh.json]
 //
 // Without -check it measures and writes the snapshot. With -check it
 // measures, optionally writes the fresh snapshot (for CI artifacts), and
@@ -12,6 +12,16 @@
 // the committed baseline, or if any point's steady-state allocations grew.
 // Cross-machine ns/op comparisons are noise: check against baselines
 // produced on comparable hardware and widen -tolerance on shared runners.
+//
+// With -study (on by default) the snapshot also records the
+// adaptive-vs-dense study point: the adaptive-smoke builtin run end to
+// end, with the slots it simulated versus the dense-grid equivalent — the
+// measured work saving of adaptive refinement plus early stopping. The
+// point is never timing-gated (Parallelism 0).
+//
+// When the machine has fewer CPUs than the widest requested parallelism
+// the snapshot is marked "degraded": parallel points then measure
+// oversubscription, and the file should not be committed as a baseline.
 package main
 
 import (
@@ -25,23 +35,30 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_7.json", "snapshot file to write (empty = do not write)")
+	out := flag.String("out", "BENCH_8.json", "snapshot file to write (empty = do not write)")
 	check := flag.Bool("check", false, "compare the fresh measurement against -against and fail on regression")
-	against := flag.String("against", "BENCH_7.json", "committed baseline snapshot for -check")
+	against := flag.String("against", "BENCH_8.json", "committed baseline snapshot for -check")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/op regression for sequential points")
 	sizes := flag.String("sizes", "256,1024,4096", "comma-separated switch sizes")
 	pars := flag.String("pars", "1,2,4,8", "comma-separated parallelism levels, applied to the largest size")
 	warmup := flag.Int("warmup", 0, "warmup slots per point (0 = 12*N)")
+	study := flag.Bool("study", true, "also measure the adaptive-vs-dense study point (adaptive-smoke end to end)")
 	flag.Parse()
 
 	cfg := benchsnap.Config{
 		Sizes:  ints(*sizes),
 		Pars:   ints(*pars),
 		Warmup: *warmup,
+		Study:  *study,
 	}
 	fresh, err := benchsnap.Collect(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if fresh.Degraded {
+		fmt.Fprintf(os.Stderr, "benchsnap: WARNING: machine has %d cpus, fewer than the widest parallel point (%s);"+
+			" parallel timings measure oversubscription — snapshot marked \"degraded\", do not commit it as a baseline\n",
+			fresh.CPUs, *pars)
 	}
 	for _, pt := range fresh.Points {
 		fmt.Printf("%-20s %12.0f ns/op %8d allocs/op %12.0f slots/sec\n",

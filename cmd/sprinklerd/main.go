@@ -39,6 +39,8 @@
 //	     scenarios with their option schemas
 //	GET  /healthz, GET /metrics     liveness ("ok" or "degraded") and
 //	     Prometheus-style counters
+//	GET  /api/v1/perf               daemon-wide and per-study work counters
+//	     plus the committed BENCH_*.json snapshots under -bench-dir
 //
 // On SIGINT/SIGTERM the daemon drains: running studies are canceled, each
 // flushes its JSONL checkpoint (resumable by resubmitting the same spec),
@@ -73,6 +75,7 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", time.Second, "worker heartbeat/probe interval")
 	join := flag.String("join", "", "coordinator URL to register with and heartbeat to (worker mode)")
 	advertise := flag.String("advertise", "", "base URL this worker advertises to the coordinator (default http://<listen>)")
+	benchDir := flag.String("bench-dir", ".", "directory scanned for committed BENCH_*.json snapshots served by /api/v1/perf")
 	cacheMax := flag.Int64("cache-max-bytes", 0, "bound the result cache on disk; 0 = unbounded")
 	evictPolicy := flag.String("evict-policy", "lru", "cache eviction policy: lru, fifo, or large_first")
 	sweepInterval := flag.Duration("sweep-interval", time.Minute, "how often the cache sweeper enforces -cache-max-bytes")
@@ -113,6 +116,7 @@ func main() {
 		CacheMaxBytes:    *cacheMax,
 		EvictPolicy:      policy,
 		SweepInterval:    *sweepInterval,
+		BenchDir:         *benchDir,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -22,7 +22,7 @@
 // Usage:
 //
 //	sweep -spec study.json [-out results.jsonl] [-csv|-trajcsv|-detail] [-quiet]
-//	sweep -builtin fig6|fig7|fig5|table1|smoke|flashcrowd [-replicas 5] [-out ...]
+//	sweep -builtin fig6|fig7|fig5|table1|smoke|flashcrowd|adaptive-fig6|adaptive-smoke [-replicas 5] [-out ...]
 //	sweep -algs sprinklers,foff -traffic uniform -ns 32 \
 //	      -loads 0.5,0.9 -replicas 3 -slots 200000 [-out ...]
 //	sweep -algs sprinklers -traffic uniform -scenarios flashcrowd -windows 12 ...
@@ -47,6 +47,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -61,9 +62,9 @@ import (
 
 func main() {
 	specPath := flag.String("spec", "", "path to a JSON study spec")
-	builtin := flag.String("builtin", "", "built-in study: fig6, fig7, fig5, table1, smoke, flashcrowd")
+	builtin := flag.String("builtin", "", "built-in study: fig6, fig7, fig5, table1, smoke, flashcrowd, adaptive-fig6, adaptive-smoke")
 	name := flag.String("name", "", "study name (flag-built specs)")
-	kind := flag.String("kind", "sim", "study kind: sim, markov, bound (flag-built specs)")
+	kind := flag.String("kind", "sim", "study kind: sim, adaptive, markov, bound (flag-built specs)")
 	algsFlag := flag.String("algs", "", experiment.FormatSeriesHelp("algorithm")+`, or "all"/"paper" (flag-built specs)`)
 	trafficFlag := flag.String("traffic", "uniform", experiment.FormatSeriesHelp("traffic")+" (flag-built specs)")
 	nsFlag := flag.String("ns", "32", "comma-separated switch sizes (flag-built specs)")
@@ -86,6 +87,7 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress live progress on stderr")
 	emitSpec := flag.Bool("emit-spec", false, "print the resolved spec as JSON and exit without running")
 	haltAfter := flag.Int("halt-after", 0, "stop after recording this many new points (simulates a mid-study kill; exit 3)")
+	countersOut := flag.String("counters-out", "", "write the run's work/cache counters as JSON to this file (local runs)")
 	switchwide := flag.Bool("switchwide", false, "bound studies: also print the switch-wide union bound")
 	list := flag.Bool("list", false, "list registered architectures and workloads with their options, then exit")
 	flag.Parse()
@@ -150,7 +152,17 @@ func main() {
 		if !*quiet {
 			cfg.Progress = printProgress
 		}
+		if *countersOut != "" {
+			cfg.Counters = &experiment.Counters{}
+		}
 		results, runErr = experiment.RunStudy(ctx, spec, cfg)
+		if cfg.Counters != nil {
+			// Written on every outcome — the CI slot-budget comparisons read
+			// it after halted and resumed runs too.
+			if err := writeCounters(*countersOut, cfg.Counters); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	canceled := experiment.IsCancellation(runErr)
 	switch {
@@ -212,6 +224,15 @@ func printProgress(done, total int, r experiment.PointResult) {
 		fmt.Fprintf(os.Stderr, "  overload %s", r.QueueOverload)
 	}
 	fmt.Fprintln(os.Stderr)
+}
+
+// writeCounters dumps the run's counter snapshot as indented JSON.
+func writeCounters(path string, ctr *experiment.Counters) error {
+	b, err := json.MarshalIndent(ctr.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func writeSpec(w *os.File, spec experiment.Spec) error {

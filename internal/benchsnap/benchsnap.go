@@ -1,6 +1,6 @@
 // Package benchsnap measures the canonical per-slot stepping benchmarks
 // with testing.Benchmark and serializes them as a machine-readable
-// snapshot, so performance is a reviewable artifact (BENCH_7.json) and a
+// snapshot, so performance is a reviewable artifact (BENCH_8.json) and a
 // CI gate instead of a claim in a commit message.
 //
 // The snapshot records, per (switch size, parallelism) point, the ns/op of
@@ -14,6 +14,7 @@
 package benchsnap
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -21,8 +22,10 @@ import (
 	"runtime"
 	"sort"
 	"testing"
+	"time"
 
 	"sprinklers/internal/core"
+	"sprinklers/internal/experiment"
 	"sprinklers/internal/sim"
 	"sprinklers/internal/traffic"
 )
@@ -44,6 +47,11 @@ type Point struct {
 	AllocsPerOp int64 `json:"allocs_per_op"`
 	// SlotsPerSec is 1e9/NsPerOp, the simulation throughput.
 	SlotsPerSec float64 `json:"slots_per_sec"`
+	// SlotsSimulated and DenseSlots are set only on study points: the
+	// slots the adaptive study actually simulated versus the slots a dense
+	// study over the same final grid would have — the measured work saving.
+	SlotsSimulated int64 `json:"slots_simulated,omitempty"`
+	DenseSlots     int64 `json:"dense_slots,omitempty"`
 }
 
 // Snapshot is the machine-readable benchmark artifact.
@@ -53,9 +61,13 @@ type Snapshot struct {
 	// GoVersion and CPUs document the measuring machine: comparisons
 	// across different machines are noise, and parallel speedups are only
 	// meaningful when CPUs covers the worker count.
-	GoVersion string  `json:"go_version"`
-	CPUs      int     `json:"cpus"`
-	Points    []Point `json:"points"`
+	GoVersion string `json:"go_version"`
+	CPUs      int    `json:"cpus"`
+	// Degraded records that the measuring machine had fewer CPUs than the
+	// widest parallel point, so the parallel timings measure oversubscription,
+	// not scaling; such a snapshot should not be committed as a baseline.
+	Degraded bool    `json:"degraded,omitempty"`
+	Points   []Point `json:"points"`
 }
 
 // Config selects what Collect measures.
@@ -68,6 +80,10 @@ type Config struct {
 	Pars []int
 	// Warmup overrides the default warmup of 12*N slots when positive.
 	Warmup int
+	// Study adds the adaptive-vs-dense study point: the adaptive-smoke
+	// builtin run end to end, recording ns per simulated slot plus the
+	// slots simulated versus the dense-grid equivalent.
+	Study bool
 }
 
 // Collect measures every configured point. It is deliberately sequential:
@@ -104,7 +120,62 @@ func Collect(cfg Config) (*Snapshot, error) {
 		}
 	}
 	snap.Points = append(snap.Points, measureSource(1024))
+	if cfg.Study {
+		pt, err := measureStudy()
+		if err != nil {
+			return nil, err
+		}
+		snap.Points = append(snap.Points, pt)
+	}
+	snap.Degraded = degraded(snap.CPUs, cfg.Pars)
 	return snap, nil
+}
+
+// degraded reports whether a machine with the given CPU count can honestly
+// measure the given parallelism axis.
+func degraded(cpus int, pars []int) bool {
+	for _, p := range pars {
+		if p > cpus {
+			return true
+		}
+	}
+	return false
+}
+
+// measureStudy runs the adaptive-smoke builtin end to end and derives a
+// study-level point: ns per simulated slot (study overhead — refinement,
+// calibration, early-stop bookkeeping — amortized over the slots actually
+// stepped), plus the slots-simulated versus dense-equivalent comparison.
+// The point is recorded with Parallelism 0 so Compare never gates its
+// timing, and AllocsPerOp 0 because a study allocates freely by design.
+func measureStudy() (Point, error) {
+	spec, err := experiment.BuiltinSpec("adaptive-smoke")
+	if err != nil {
+		return Point{}, err
+	}
+	norm := spec.WithDefaults()
+	var ctr experiment.Counters
+	start := time.Now()
+	results, err := experiment.RunStudy(context.Background(), spec, experiment.StudyConfig{Counters: &ctr})
+	if err != nil {
+		return Point{}, err
+	}
+	elapsed := time.Since(start)
+	slots := ctr.SlotsSimulated.Load()
+	if slots <= 0 {
+		return Point{}, fmt.Errorf("benchsnap: study simulated no slots")
+	}
+	dense := int64(len(results)) * int64(norm.Replicas) * int64(norm.Slots+norm.Warmup)
+	ns := float64(elapsed.Nanoseconds()) / float64(slots)
+	return Point{
+		Name:           fmt.Sprintf("study/adaptive-vs-dense/N-%d", norm.Sizes[0]),
+		N:              norm.Sizes[0],
+		Parallelism:    0,
+		NsPerOp:        ns,
+		SlotsPerSec:    1e9 / ns,
+		SlotsSimulated: slots,
+		DenseSlots:     dense,
+	}, nil
 }
 
 // measureSource times arrival generation alone at size n — the other half

@@ -63,6 +63,46 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestDegraded(t *testing.T) {
+	cases := []struct {
+		cpus int
+		pars []int
+		want bool
+	}{
+		{8, []int{1, 2, 4, 8}, false},
+		{4, []int{1, 2, 4, 8}, true},
+		{1, []int{1}, false},
+		{1, nil, false},
+	}
+	for _, c := range cases {
+		if got := degraded(c.cpus, c.pars); got != c.want {
+			t.Errorf("degraded(%d, %v) = %v, want %v", c.cpus, c.pars, got, c.want)
+		}
+	}
+}
+
+// TestMeasureStudyPoint: the study point records a real work saving — the
+// adaptive-smoke builtin simulates strictly fewer slots than its dense
+// equivalent — and stays ungated (Parallelism 0, zero allocs recorded).
+func TestMeasureStudyPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full adaptive study")
+	}
+	pt, err := measureStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Name != "study/adaptive-vs-dense/N-8" || pt.Parallelism != 0 || pt.AllocsPerOp != 0 {
+		t.Errorf("study point identity = %+v, want ungated study/adaptive-vs-dense/N-8", pt)
+	}
+	if pt.NsPerOp <= 0 || pt.SlotsPerSec <= 0 {
+		t.Errorf("study point has non-positive timing: %+v", pt)
+	}
+	if pt.SlotsSimulated <= 0 || pt.DenseSlots <= pt.SlotsSimulated {
+		t.Errorf("study point shows no saving: simulated %d, dense %d", pt.SlotsSimulated, pt.DenseSlots)
+	}
+}
+
 // TestCollectSmall exercises the full measurement path at a tiny size so
 // the harness itself (warmup, parallel worker lifecycle, JSON fields) is
 // covered without benchmark-scale runtime.

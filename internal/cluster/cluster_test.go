@@ -364,3 +364,41 @@ func TestWorkerRejoinsAfterRegister(t *testing.T) {
 		t.Errorf("rejoined worker computed %d replicas, want %d", got, totalReplicas(spec2))
 	}
 }
+
+// TestClusterAdaptiveMatchesLocal: an adaptive study dispatched across a
+// cluster — dynamic refinement points, early-stopped replicas and all — is
+// byte-identical to a local run, every simulated replica runs on a worker,
+// and the fleet simulates exactly the replicas the local run does (the
+// early-stopping decisions are part of the deterministic trajectory, so
+// remote execution saves exactly as much work).
+func TestClusterAdaptiveMatchesLocal(t *testing.T) {
+	w1 := newNode(t, service.Options{})
+	w2 := newNode(t, service.Options{})
+	coordinator, _ := newCoordinator(t, fastOptions(w1.url(), w2.url()), service.Options{})
+	spec, err := experiment.BuiltinSpec("adaptive-smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var lctr experiment.Counters
+	local, err := experiment.RunStudy(context.Background(), spec, experiment.StudyConfig{Counters: &lctr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := json.Marshal(local)
+
+	remote := runRemote(t, coordinator, spec)
+	if !bytes.Equal(remote, lb) {
+		t.Errorf("cluster adaptive results differ from local:\n%s\nvs\n%s", remote, lb)
+	}
+	if got := coordinator.srv.Counters().ReplicasComputed.Load(); got != 0 {
+		t.Errorf("coordinator computed %d replicas locally, want 0", got)
+	}
+	if got, want := replicasComputedAcross(w1, w2), lctr.ReplicasComputed.Load(); got != want {
+		t.Errorf("workers computed %d replicas, want the local run's %d (early stopping must replicate)", got, want)
+	}
+	total := coordinator.srv.TotalCounters()
+	if total.PointsRefined == 0 || total.ReplicasEarlyStopped == 0 {
+		t.Errorf("adaptive counters did not surface on the coordinator: %+v", total)
+	}
+}

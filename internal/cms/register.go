@@ -10,6 +10,7 @@ func init() {
 		Name:            "cms",
 		Description:     "Concurrent Matching Switch: per-port token matching, frame-pipelined and reordering-free",
 		OrderPreserving: true,
+		Twin:            "markov",
 		Rank:            80,
 		New: func(cfg registry.ArchConfig) (sim.Switch, error) {
 			return New(cfg.N), nil

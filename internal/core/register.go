@@ -51,6 +51,7 @@ func init() {
 		Name:            "sprinklers",
 		Description:     "randomized variable-size dyadic striping with gated Largest Stripe First scheduling",
 		OrderPreserving: true,
+		Twin:            "markov",
 		Rank:            50,
 		NeedsRates:      true, // Eq. 1 stripe sizing reads the rate matrix
 		Options:         sprinklersOptions(),
@@ -62,6 +63,7 @@ func init() {
 		Name:            "sprinklers-greedy",
 		Description:     "Sprinklers with the work-conserving greedy LSF scan (ablation); no ordering guarantee",
 		OrderPreserving: false,
+		Twin:            "markov",
 		Rank:            60,
 		NeedsRates:      true,
 		Options:         sprinklersOptions(),

@@ -69,6 +69,13 @@ type Counters struct {
 	// LocalFallbacks counts replica jobs the coordinator ran in-process
 	// because no healthy worker was available (degraded mode).
 	LocalFallbacks atomic.Int64
+	// PointsRefined counts grid points inserted by adaptive refinement
+	// (recorded points beyond the seed grid); ReplicasEarlyStopped counts
+	// replicas the sequential CI rule skipped, and SlotsSavedEstimate the
+	// slots+warmup horizon those skipped replicas would have simulated.
+	PointsRefined        atomic.Int64
+	ReplicasEarlyStopped atomic.Int64
+	SlotsSavedEstimate   atomic.Int64
 }
 
 // CounterSnapshot is a plain-value copy of a Counters, for JSON responses
@@ -86,6 +93,32 @@ type CounterSnapshot struct {
 	JobsRedispatched int64 `json:"jobs_redispatched,omitempty"`
 	PeerCacheFills   int64 `json:"peer_cache_fills,omitempty"`
 	LocalFallbacks   int64 `json:"local_fallbacks,omitempty"`
+
+	PointsRefined        int64 `json:"points_refined,omitempty"`
+	ReplicasEarlyStopped int64 `json:"replicas_early_stopped,omitempty"`
+	SlotsSavedEstimate   int64 `json:"slots_saved_estimate,omitempty"`
+}
+
+// Add returns the field-wise sum of two snapshots. The daemon folds retired
+// per-study counters into its process totals with it.
+func (s CounterSnapshot) Add(o CounterSnapshot) CounterSnapshot {
+	return CounterSnapshot{
+		CacheHits:            s.CacheHits + o.CacheHits,
+		CacheMisses:          s.CacheMisses + o.CacheMisses,
+		PointsComputed:       s.PointsComputed + o.PointsComputed,
+		ReplicasComputed:     s.ReplicasComputed + o.ReplicasComputed,
+		SlotsSimulated:       s.SlotsSimulated + o.SlotsSimulated,
+		StudiesRun:           s.StudiesRun + o.StudiesRun,
+		CacheCorrupt:         s.CacheCorrupt + o.CacheCorrupt,
+		JobsDispatched:       s.JobsDispatched + o.JobsDispatched,
+		JobsRetried:          s.JobsRetried + o.JobsRetried,
+		JobsRedispatched:     s.JobsRedispatched + o.JobsRedispatched,
+		PeerCacheFills:       s.PeerCacheFills + o.PeerCacheFills,
+		LocalFallbacks:       s.LocalFallbacks + o.LocalFallbacks,
+		PointsRefined:        s.PointsRefined + o.PointsRefined,
+		ReplicasEarlyStopped: s.ReplicasEarlyStopped + o.ReplicasEarlyStopped,
+		SlotsSavedEstimate:   s.SlotsSavedEstimate + o.SlotsSavedEstimate,
+	}
 }
 
 // Snapshot returns a consistent-enough copy of the counters (each field is
@@ -104,6 +137,10 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		JobsRedispatched: c.JobsRedispatched.Load(),
 		PeerCacheFills:   c.PeerCacheFills.Load(),
 		LocalFallbacks:   c.LocalFallbacks.Load(),
+
+		PointsRefined:        c.PointsRefined.Load(),
+		ReplicasEarlyStopped: c.ReplicasEarlyStopped.Load(),
+		SlotsSavedEstimate:   c.SlotsSavedEstimate.Load(),
 	}
 }
 
@@ -127,8 +164,21 @@ func (s Spec) PointIdentity(key PointKey) resultcache.Identity {
 		Replicas: s.Replicas,
 		Seed:     s.Seed,
 	}
-	if s.Kind != SimStudy {
+	if !s.simLike() {
 		return id
+	}
+	// An adaptive point IS a sim point plus an early-stopping policy: the
+	// identity keeps Kind "sim" so the physical fields (and the seed
+	// fingerprint, which zeroes the policy) line up with the dense study of
+	// the same point, and carries the policy in the dedicated fields. Dense
+	// full-replica entries are therefore reusable by adaptive lookups, while
+	// early-stopped adaptive aggregates can never collide with dense keys.
+	if s.Kind == AdaptiveStudy {
+		id.Kind = string(SimStudy)
+		if s.Adaptive != nil {
+			id.CIRelTol = s.Adaptive.CIRelTol
+			id.MinReplicas = s.Adaptive.MinReplicas
+		}
 	}
 	alg := s.algEntry(key.Algorithm)
 	id.Algorithm = string(alg.Name)

@@ -8,7 +8,7 @@ import (
 
 // fuzzBuiltins seeds the corpus with every built-in study — the specs the
 // harness actually ships — so the fuzzer starts from realistic shapes.
-var fuzzBuiltins = []string{"fig6", "fig7", "fig5", "table1", "smoke", "flashcrowd"}
+var fuzzBuiltins = []string{"fig6", "fig7", "fig5", "table1", "smoke", "flashcrowd", "adaptive-fig6", "adaptive-smoke"}
 
 // FuzzSpecJSON fuzzes the full spec pipeline: parse, default, validate. A
 // spec that validates must (a) survive a marshal/parse/default round trip
@@ -56,7 +56,7 @@ func FuzzSpecJSON(f *testing.F) {
 				return
 			}
 		}
-		if d.Kind == SimStudy && len(d.Bursts) > 0 {
+		if (d.Kind == SimStudy || d.Kind == AdaptiveStudy) && len(d.Bursts) > 0 {
 			points *= len(d.Bursts)
 		}
 		if len(d.Scenarios) > 0 {

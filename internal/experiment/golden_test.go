@@ -97,6 +97,37 @@ func TestGoldenStudyDetail(t *testing.T) {
 	checkGolden(t, "detail", b.Bytes())
 }
 
+// goldenAdaptive is a hand-built adaptive study result: two seed points and
+// a refined midpoint carrying the twin columns.
+func goldenAdaptive() []PointResult {
+	return []PointResult{
+		{PointKey: PointKey{Algorithm: Sprinklers, Traffic: UniformTraffic, N: 8, Load: 0.5},
+			Replicas: 2, MeanDelay: 37.2, DelayCI95: 3.4, P99Delay: 90, MaxDelay: 201,
+			Throughput: 0.997, ThroughputCI95: 0.002, Delivered: 8000},
+		{PointKey: PointKey{Algorithm: Sprinklers, Traffic: UniformTraffic, N: 8, Load: 0.8},
+			Replicas: 3, MeanDelay: 57.7, DelayCI95: 3.2, P99Delay: 160, MaxDelay: 420,
+			Throughput: 0.991, ThroughputCI95: 0.003, Delivered: 12700},
+		{PointKey: PointKey{Algorithm: Sprinklers, Traffic: UniformTraffic, N: 8, Load: 0.65},
+			Replicas: 2, MeanDelay: 48.9, DelayCI95: 4.1, P99Delay: 120, MaxDelay: 300,
+			Throughput: 0.995, ThroughputCI95: 0.002, Delivered: 10300,
+			TwinDelay: 52.3, TwinDivergence: 0.0695, RefineRound: 1},
+	}
+}
+
+func TestGoldenAdaptiveDetail(t *testing.T) {
+	var b bytes.Buffer
+	RenderStudyDetail(&b, goldenAdaptive())
+	checkGolden(t, "adaptive_detail", b.Bytes())
+}
+
+func TestGoldenAdaptiveCSV(t *testing.T) {
+	var b bytes.Buffer
+	if err := RenderStudyCSV(&b, goldenAdaptive()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "adaptive_csv", b.Bytes())
+}
+
 func TestGoldenTrajectory(t *testing.T) {
 	var b bytes.Buffer
 	RenderTrajectory(&b, goldenStudy())

@@ -49,6 +49,15 @@ type PointResult struct {
 	// and backlog, totals for offered/delivered/reordered, and throughput
 	// recomputed from the totals.
 	Windows []stats.WindowPoint `json:"windows,omitempty"`
+	// TwinDelay, TwinDivergence and RefineRound are set on the points an
+	// adaptive study inserted by refinement (RefineRound >= 1): the
+	// calibrated analytic-twin prediction at the point, its relative
+	// disagreement with the simulated MeanDelay, and the refinement round
+	// that inserted the point. Seed-grid points carry none of them — their
+	// lines are written before the twin's scale is calibrated.
+	TwinDelay      float64 `json:"twin_delay,omitempty"`
+	TwinDivergence float64 `json:"twin_divergence,omitempty"`
+	RefineRound    int     `json:"refine_round,omitempty"`
 }
 
 // ErrHalted is returned by RunStudy when StudyConfig.HaltAfterPoints stopped
@@ -139,7 +148,7 @@ func RunReplicaJob(ctx context.Context, spec Spec, key PointKey, rep, par int, c
 	if err := spec.Validate(); err != nil {
 		return Point{}, err
 	}
-	if spec.Kind != SimStudy {
+	if !spec.simLike() {
 		return Point{}, fmt.Errorf("experiment: replica jobs are sim-only, got kind %q", spec.Kind)
 	}
 	fp := spec.PointIdentity(key).SeedFingerprint()
@@ -289,6 +298,11 @@ func RunStudy(ctx context.Context, spec Spec, cfg StudyConfig) ([]PointResult, e
 	}
 	if cfg.Counters != nil {
 		cfg.Counters.StudiesRun.Add(1)
+	}
+	if spec.Kind == AdaptiveStudy {
+		// Adaptive studies grow their grid as results come in; the frontier
+		// executor owns checkpointing and ordering for the dynamic point set.
+		return runAdaptive(ctx, spec, cfg)
 	}
 	keys := spec.Points()
 	total := len(keys)

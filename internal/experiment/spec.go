@@ -25,7 +25,49 @@ const (
 	// BoundStudy points evaluate the Table 1 overload bounds; the grid is
 	// Sizes x Loads and needs no replicas.
 	BoundStudy SpecKind = "bound"
+	// AdaptiveStudy points run full switch simulations like SimStudy, but
+	// the load grid is a coarse seed that the runner refines where the
+	// delay curve bends or diverges from the calibrated analytic twin, and
+	// replicas stop early once the batch-means CI is tight (Spec.Adaptive
+	// holds the budget and tolerances). The refined grid is a
+	// deterministic function of the spec, so adaptive studies checkpoint,
+	// resume, and cluster-execute byte-identically like dense ones.
+	AdaptiveStudy SpecKind = "adaptive"
 )
+
+// simLike reports whether the kind runs switch simulations (and therefore
+// takes algorithms, traffic, bursts and a slot horizon) as opposed to
+// evaluating closed forms.
+func (s Spec) simLike() bool { return s.Kind == SimStudy || s.Kind == AdaptiveStudy }
+
+// AdaptiveSpec is the refinement budget and tolerances of an adaptive
+// study. Zero fields are filled by WithDefaults; every parameter is part
+// of the normalized spec (and therefore the checkpoint header), so a
+// resume under a drifted budget is rejected like any other spec drift.
+type AdaptiveSpec struct {
+	// MaxPoints bounds the total number of grid points (seed + refined).
+	// Default: 3x the seed grid. Setting it to the seed-grid size disables
+	// refinement entirely.
+	MaxPoints int `json:"max_points,omitempty"`
+	// MaxRounds bounds the refinement rounds. Default 6.
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// RefineThreshold is the per-interval refinement trigger: an interval
+	// between neighboring loads is split when either endpoint's
+	// twin-vs-sim divergence or normalized curvature (second difference)
+	// exceeds it. Default 0.15.
+	RefineThreshold float64 `json:"refine_threshold,omitempty"`
+	// CIRelTol is the sequential early-stopping tolerance: a point stops
+	// adding replicas once the 95% CI half-width of the replica delay
+	// means is at or under CIRelTol x mean (denominator floored at 1
+	// slot). Default 0.10.
+	CIRelTol float64 `json:"ci_rel_tol,omitempty"`
+	// MinReplicas is the fewest replicas a point runs before early
+	// stopping may trigger. Default min(2, Replicas).
+	MinReplicas int `json:"min_replicas,omitempty"`
+	// MinLoadGap is the smallest load interval refinement may split.
+	// Default 0.02.
+	MinLoadGap float64 `json:"min_load_gap,omitempty"`
+}
 
 // AlgorithmSpec selects one architecture series of a study: a registered
 // architecture name, an optional per-series option assignment validated
@@ -283,6 +325,9 @@ type Spec struct {
 	// its own seed from it deterministically, so a study is reproducible
 	// and resumable regardless of worker scheduling.
 	Seed int64 `json:"seed,omitempty"`
+	// Adaptive holds the refinement budget and tolerances of an adaptive
+	// study ("kind": "adaptive" only; Loads become the coarse seed grid).
+	Adaptive *AdaptiveSpec `json:"adaptive,omitempty"`
 }
 
 // WithDefaults returns the spec with unset optional fields filled in and
@@ -314,13 +359,13 @@ func (s Spec) WithDefaults() Spec {
 	if len(s.Bursts) == 0 {
 		s.Bursts = nil
 	}
-	if len(s.Bursts) == 0 && s.Kind == SimStudy {
+	if len(s.Bursts) == 0 && s.simLike() {
 		s.Bursts = []float64{0}
 	}
 	if s.Replicas == 0 {
 		s.Replicas = 1
 	}
-	if s.Slots == 0 && s.Kind == SimStudy {
+	if s.Slots == 0 && s.simLike() {
 		s.Slots = 100_000
 	}
 	if s.Seed == 0 {
@@ -365,6 +410,35 @@ func (s Spec) WithDefaults() Spec {
 		}
 		s.Scenarios = scs
 	}
+	if s.Kind == AdaptiveStudy {
+		// Copy before filling: Spec is a value but Adaptive is a pointer,
+		// and WithDefaults must not mutate the caller's spec.
+		ad := AdaptiveSpec{}
+		if s.Adaptive != nil {
+			ad = *s.Adaptive
+		}
+		if ad.MaxPoints == 0 {
+			// The seed-grid enumeration only needs the axes defaulted
+			// above, so NumPoints is well-defined here.
+			ad.MaxPoints = 3 * s.NumPoints()
+		}
+		if ad.MaxRounds == 0 {
+			ad.MaxRounds = 6
+		}
+		if ad.RefineThreshold == 0 {
+			ad.RefineThreshold = 0.15
+		}
+		if ad.CIRelTol == 0 {
+			ad.CIRelTol = 0.10
+		}
+		if ad.MinReplicas == 0 {
+			ad.MinReplicas = min(2, s.Replicas)
+		}
+		if ad.MinLoadGap == 0 {
+			ad.MinLoadGap = 0.02
+		}
+		s.Adaptive = &ad
+	}
 	return s
 }
 
@@ -374,9 +448,12 @@ func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 // It validates the spec as given; call WithDefaults first.
 func (s Spec) Validate() error {
 	switch s.Kind {
-	case SimStudy, MarkovStudy, BoundStudy:
+	case SimStudy, MarkovStudy, BoundStudy, AdaptiveStudy:
 	default:
 		return fmt.Errorf("experiment: unknown spec kind %q", s.Kind)
+	}
+	if s.Kind != AdaptiveStudy && s.Adaptive != nil {
+		return fmt.Errorf("experiment: %s studies take no adaptive parameters", s.Kind)
 	}
 	if len(s.Loads) == 0 {
 		return fmt.Errorf("experiment: spec has no loads")
@@ -392,14 +469,14 @@ func (s Spec) Validate() error {
 	for _, n := range s.Sizes {
 		// The fabrics and the striping rule need a power-of-two port count
 		// (Sec. 3.1); the analytic models are defined for any N >= 2.
-		if s.Kind == SimStudy && !isPow2(n) {
+		if s.simLike() && !isPow2(n) {
 			return fmt.Errorf("experiment: size %d is not a power of two", n)
 		}
 		if n < 2 {
 			return fmt.Errorf("experiment: size %d < 2", n)
 		}
 	}
-	if s.Kind != SimStudy {
+	if !s.simLike() {
 		if len(s.Algorithms) != 0 || len(s.Traffic) != 0 {
 			return fmt.Errorf("experiment: %s studies take no algorithms or traffic kinds", s.Kind)
 		}
@@ -415,7 +492,7 @@ func (s Spec) Validate() error {
 		return nil
 	}
 	if len(s.Algorithms) == 0 {
-		return fmt.Errorf("experiment: sim spec has no algorithms")
+		return fmt.Errorf("experiment: %s spec has no algorithms", s.Kind)
 	}
 	seenAlg := map[Algorithm]bool{}
 	for _, a := range s.Algorithms {
@@ -443,7 +520,7 @@ func (s Spec) Validate() error {
 		seenAlg[a.Label()] = true
 	}
 	if len(s.Traffic) == 0 {
-		return fmt.Errorf("experiment: sim spec has no traffic kinds")
+		return fmt.Errorf("experiment: %s spec has no traffic kinds", s.Kind)
 	}
 	seenT := map[TrafficKind]bool{}
 	for _, k := range s.Traffic {
@@ -495,6 +572,43 @@ func (s Spec) Validate() error {
 	if s.Warmup < 0 {
 		return fmt.Errorf("experiment: warmup %d < 0", s.Warmup)
 	}
+	if s.Kind == AdaptiveStudy {
+		return s.validateAdaptive()
+	}
+	return nil
+}
+
+// validateAdaptive checks the adaptive-only constraints after the shared
+// sim-grid checks passed.
+func (s Spec) validateAdaptive() error {
+	if len(s.Scenarios) != 0 || s.Windows != 0 {
+		// Refinement reasons about one scalar per point (the mean delay
+		// curve); windowed trajectories and scenario timelines have no
+		// twin to calibrate against, so they stay dense-study features.
+		return fmt.Errorf("experiment: adaptive studies take no scenarios or windows")
+	}
+	ad := s.Adaptive
+	if ad == nil {
+		return fmt.Errorf("experiment: adaptive spec has no adaptive parameters (call WithDefaults)")
+	}
+	if seed := s.NumPoints(); ad.MaxPoints < seed {
+		return fmt.Errorf("experiment: adaptive max_points %d below the %d-point seed grid", ad.MaxPoints, seed)
+	}
+	if ad.MaxRounds < 0 {
+		return fmt.Errorf("experiment: adaptive max_rounds %d < 0", ad.MaxRounds)
+	}
+	if ad.RefineThreshold <= 0 {
+		return fmt.Errorf("experiment: adaptive refine_threshold %v <= 0", ad.RefineThreshold)
+	}
+	if ad.CIRelTol < 0 || ad.CIRelTol >= 1 {
+		return fmt.Errorf("experiment: adaptive ci_rel_tol %v outside [0, 1)", ad.CIRelTol)
+	}
+	if ad.MinReplicas < 1 || ad.MinReplicas > s.Replicas {
+		return fmt.Errorf("experiment: adaptive min_replicas %d outside [1, %d replicas]", ad.MinReplicas, s.Replicas)
+	}
+	if ad.MinLoadGap <= 0 || ad.MinLoadGap >= 0.5 {
+		return fmt.Errorf("experiment: adaptive min_load_gap %v outside (0, 0.5)", ad.MinLoadGap)
+	}
 	return nil
 }
 
@@ -526,10 +640,12 @@ func (k PointKey) String() string {
 // Points enumerates the study grid in its canonical order: algorithm,
 // traffic, size, burst, then load (innermost), so curves fill progressively.
 // Checkpoint files record points in exactly this order, which is what makes
-// a resumed study byte-identical to an uninterrupted one.
+// a resumed study byte-identical to an uninterrupted one. For adaptive
+// studies this is the seed grid only — the refinement frontier extends it
+// deterministically at run time (see runAdaptive).
 func (s Spec) Points() []PointKey {
 	var out []PointKey
-	if s.Kind != SimStudy {
+	if !s.simLike() {
 		for _, n := range s.Sizes {
 			for _, l := range s.Loads {
 				out = append(out, PointKey{N: n, Load: l})
@@ -664,8 +780,43 @@ func ParseFloatList(s string) ([]float64, error) {
 //   - "flashcrowd": a seconds-scale dynamic study — static Sprinklers,
 //     adaptive Sprinklers and the load-balanced baseline riding out a
 //     flash crowd, with per-window recovery trajectories
+//   - "adaptive-fig6": the Figure 6 comparison as an adaptive study — a
+//     coarse load seed refined near the delay knees, replicas stopped
+//     early on tight CIs; a fraction of fig6's simulated slots
+//   - "adaptive-smoke": a seconds-scale adaptive study used by the CI
+//     resume e2e and the adaptive-vs-dense benchmark point
 func BuiltinSpec(name string) (Spec, error) {
 	switch name {
+	case "adaptive-fig6":
+		return Spec{
+			Name: "adaptive-fig6", Kind: AdaptiveStudy,
+			Algorithms: Algs(Fig6Algorithms...), Traffic: Traffics(UniformTraffic),
+			Loads: []float64{0.1, 0.3, 0.5, 0.7, 0.85, 0.95},
+			Sizes: []int{32}, Replicas: 3, Slots: 1_000_000, Seed: 1,
+		}, nil
+	case "adaptive-smoke":
+		// FOFF and the load-balanced baseline have smooth, monotone delay
+		// curves at this tiny scale; Sprinklers' seconds-scale delay is
+		// dominated by per-seed stripe placement, which no interpolation can
+		// reproduce — it stays in the full-scale adaptive-fig6 study.
+		return Spec{
+			Name: "adaptive-smoke", Kind: AdaptiveStudy,
+			Algorithms: Algs(FOFF, LoadBalanced),
+			Traffic:    Traffics(UniformTraffic),
+			Loads:      []float64{0.2, 0.5, 0.8, 0.95},
+			Sizes:      []int{8},
+			Replicas:   4,
+			Slots:      2_000,
+			Seed:       1,
+			Adaptive: &AdaptiveSpec{
+				MaxPoints:       12,
+				MaxRounds:       4,
+				RefineThreshold: 0.15,
+				CIRelTol:        0.25,
+				MinReplicas:     2,
+				MinLoadGap:      0.02,
+			},
+		}, nil
 	case "fig6":
 		return Spec{
 			Name: "fig6", Kind: SimStudy,

@@ -131,7 +131,7 @@ func BuildSpec(a SpecArgs) (Spec, error) {
 		if spec.Kind == "" {
 			spec.Kind = SimStudy
 		}
-		if spec.Kind == SimStudy {
+		if spec.simLike() {
 			switch a.Algs {
 			case "", "paper":
 				spec.Algorithms = Algs(Fig6Algorithms...)

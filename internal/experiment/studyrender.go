@@ -121,6 +121,7 @@ func RenderStudyCSV(w io.Writer, rs []PointResult) error {
 		"mean_delay_slots", "delay_ci95", "p99_delay_slots", "max_delay_slots",
 		"throughput", "throughput_ci95", "reordered", "delivered",
 		"queue_overload", "switch_overload",
+		"twin_delay", "twin_divergence", "refine_round",
 	}); err != nil {
 		return err
 	}
@@ -143,6 +144,9 @@ func RenderStudyCSV(w io.Writer, rs []PointResult) error {
 			strconv.FormatInt(r.Delivered, 10),
 			r.QueueOverload,
 			r.SwitchOverload,
+			strconv.FormatFloat(r.TwinDelay, 'f', 3, 64),
+			strconv.FormatFloat(r.TwinDivergence, 'f', 4, 64),
+			strconv.Itoa(r.RefineRound),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -153,21 +157,43 @@ func RenderStudyCSV(w io.Writer, rs []PointResult) error {
 }
 
 // RenderStudyDetail writes per-point diagnosis rows (tails, throughput with
-// CI, reordering).
+// CI, reordering). When any point carries adaptive-refinement data, three
+// twin columns are appended: the calibrated analytic-twin prediction, its
+// relative divergence from the simulated mean, and the refinement round that
+// inserted the point (seed-grid points show dashes).
 func RenderStudyDetail(w io.Writer, rs []PointResult) {
-	fmt.Fprintf(w, "%-18s %-10s %-12s %5s %6s %6s %4s %16s %10s %10s %16s %10s\n",
+	adaptive := false
+	for _, r := range rs {
+		if r.RefineRound > 0 || r.TwinDelay != 0 || r.TwinDivergence != 0 {
+			adaptive = true
+			break
+		}
+	}
+	fmt.Fprintf(w, "%-18s %-10s %-12s %5s %6s %6s %4s %16s %10s %10s %16s %10s",
 		"algorithm", "traffic", "scenario", "N", "load", "burst", "reps",
 		"mean-delay", "p99-delay", "max-delay", "thruput", "reordered")
+	if adaptive {
+		fmt.Fprintf(w, " %10s %8s %5s", "twin-delay", "twin-div", "round")
+	}
+	fmt.Fprintln(w)
 	for _, r := range rs {
 		sc := string(r.Scenario)
 		if sc == "" {
 			sc = "-"
 		}
-		fmt.Fprintf(w, "%-18s %-10s %-12s %5d %6.2f %6.2f %4d %s %10.1f %10.0f %s %10d\n",
+		fmt.Fprintf(w, "%-18s %-10s %-12s %5d %6.2f %6.2f %4d %s %10.1f %10.0f %s %10d",
 			r.Algorithm, r.Traffic, sc, r.N, r.Load, r.Burst, r.Replicas,
 			padLeft(cell(r), 16), r.P99Delay, r.MaxDelay,
 			padLeft(fmt.Sprintf("%.4f±%.4f", r.Throughput, r.ThroughputCI95), 16),
 			r.Reordered)
+		if adaptive {
+			if r.RefineRound > 0 {
+				fmt.Fprintf(w, " %10.1f %8.4f %5d", r.TwinDelay, r.TwinDivergence, r.RefineRound)
+			} else {
+				fmt.Fprintf(w, " %10s %8s %5s", "-", "-", "-")
+			}
+		}
+		fmt.Fprintln(w)
 	}
 }
 

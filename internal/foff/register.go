@@ -10,6 +10,7 @@ func init() {
 		Name:            "foff",
 		Description:     "Full Ordered Frames First: deterministic striping with output resequencers",
 		OrderPreserving: true, // the embedded resequencer restores order
+		Twin:            "markov",
 		Rank:            30,
 		New: func(cfg registry.ArchConfig) (sim.Switch, error) {
 			return New(cfg.N), nil

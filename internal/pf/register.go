@@ -12,6 +12,7 @@ func init() {
 		Name:            "pf",
 		Description:     "Padded Frames: full-frame spreading with threshold-triggered fake-cell padding",
 		OrderPreserving: true,
+		Twin:            "markov",
 		Rank:            40,
 		Options: registry.Schema{
 			registry.Int("threshold", AdaptiveThreshold,

@@ -61,6 +61,13 @@ type Architecture struct {
 	// Sprinklers sizes its stripes from the rate matrix). When false the
 	// rate matrix is never copied for this architecture.
 	NeedsRates bool
+	// Twin names the analytic delay model that best tracks this
+	// architecture's load/delay curve ("markov" for the paper's
+	// intermediate-stage closed form, "queue" for a generic single-server
+	// shape; "" defaults to "queue"). Adaptive studies evaluate the twin at
+	// every candidate point and spend simulation only where twin and
+	// simulation diverge.
+	Twin string
 	// Options declares the architecture's tunable parameters.
 	Options Schema
 	// ValidateFor, when set, checks constraints that couple a normalized

@@ -62,6 +62,14 @@ type Identity struct {
 	// deterministic function of (Seed, the physical point, replica index).
 	Replicas int   `json:"replicas,omitempty"`
 	Seed     int64 `json:"seed,omitempty"`
+	// CIRelTol and MinReplicas are the sequential early-stopping policy of
+	// adaptive studies: replicas stop once the 95% CI half-width of the
+	// replica delay means falls under CIRelTol x mean, after at least
+	// MinReplicas. They are part of the identity because an early-stopped
+	// aggregate is a different result than a full-replica one; both are
+	// zero for dense studies, so dense keys are unchanged.
+	CIRelTol    float64 `json:"ci_rel_tol,omitempty"`
+	MinReplicas int     `json:"min_replicas,omitempty"`
 }
 
 // canonicalJSON marshals the identity. Marshaling cannot fail: the struct
@@ -108,6 +116,11 @@ func (id Identity) ReplicaKey(rep int) string {
 func (id Identity) SeedFingerprint() uint64 {
 	phys := id
 	phys.Slots, phys.Warmup, phys.Windows, phys.Replicas, phys.Seed = 0, 0, 0, 0, 0
+	// The early-stopping policy decides how many replicas run, never what
+	// any one replica simulates: an adaptive study's replica k is
+	// byte-identical to a dense study's replica k of the same physical
+	// point, which is what lets adaptive studies reuse dense cache entries.
+	phys.CIRelTol, phys.MinReplicas = 0, 0
 	h := sha256.Sum256(phys.canonicalJSON())
 	return binary.LittleEndian.Uint64(h[:8])
 }

@@ -16,6 +16,9 @@ import (
 //
 //	GET  /healthz                       liveness probe ("ok")
 //	GET  /metrics                       Prometheus-style text counters
+//	GET  /api/v1/perf                   daemon-wide work/cache counters,
+//	                                    per-study counters, and the committed
+//	                                    BENCH_*.json snapshots on disk
 //	GET  /api/v1/catalog                structured registry catalog
 //	                                    (?format=text for the -list form)
 //	POST /api/v1/studies                submit a Spec; 200 joins an existing
@@ -37,6 +40,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /api/v1/perf", s.handlePerf)
 	mux.HandleFunc("GET /api/v1/catalog", s.handleCatalog)
 	mux.HandleFunc("POST /api/v1/studies", s.handleSubmit)
 	mux.HandleFunc("GET /api/v1/studies", s.handleList)

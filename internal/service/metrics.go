@@ -16,7 +16,7 @@ import (
 // does not move.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	c := s.counters.Snapshot()
+	c := s.TotalCounters()
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -28,6 +28,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("sprinklerd_points_computed_total", "Grid points computed (not served from cache or checkpoint).", c.PointsComputed)
 	counter("sprinklerd_replicas_computed_total", "Replica simulations executed.", c.ReplicasComputed)
 	counter("sprinklerd_sim_slots_total", "Simulation slots executed, warmup included.", c.SlotsSimulated)
+	counter("sprinklerd_points_refined_total", "Grid points inserted by adaptive refinement.", c.PointsRefined)
+	counter("sprinklerd_replicas_early_stopped_total", "Replicas skipped by the sequential CI stopping rule.", c.ReplicasEarlyStopped)
+	counter("sprinklerd_slots_saved_estimate", "Estimated simulation slots saved by early-stopped replicas.", c.SlotsSavedEstimate)
 	counter("sprinklerd_studies_run_total", "Study executions started (submissions minus dedups).", c.StudiesRun)
 	counter("sprinklerd_studies_submitted_total", "Study submissions accepted.", s.submitted.Load())
 	counter("sprinklerd_studies_deduped_total", "Submissions joined onto an existing execution or finished study.", s.deduped.Load())

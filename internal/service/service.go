@@ -107,6 +107,11 @@ type Options struct {
 	// PeerHTTP overrides the HTTP client used for worker→peer cache reads
 	// (tests inject fault transports here); nil means http.DefaultClient.
 	PeerHTTP *http.Client
+
+	// BenchDir is the directory scanned for committed BENCH_*.json
+	// benchmark snapshots, served by GET /api/v1/perf alongside the live
+	// counters; empty means the working directory.
+	BenchDir string
 }
 
 // Server owns the daemon state: the result cache, the lifetime counters,
@@ -123,7 +128,12 @@ type Server struct {
 	peerHTTP    *http.Client
 	evictPolicy resultcache.Policy
 	stopSweeper func()
+	benchDir    string
 
+	// counters holds the work that is not attributable to one study: jobs
+	// executed for remote coordinators, cluster dispatch accounting. Each
+	// study's own work lands on its private counters; TotalCounters folds
+	// all three populations (process, live studies, retired studies).
 	counters experiment.Counters
 
 	baseCtx    context.Context
@@ -137,6 +147,7 @@ type Server struct {
 	mu       sync.Mutex
 	studies  map[string]*study
 	seq      uint64 // submission order, for terminal-study eviction
+	retired  experiment.CounterSnapshot
 	draining bool
 }
 
@@ -168,6 +179,7 @@ func New(opts Options) (*Server, error) {
 		fault:       opts.Fault,
 		peerHTTP:    opts.PeerHTTP,
 		evictPolicy: opts.EvictPolicy,
+		benchDir:    opts.BenchDir,
 		baseCtx:     ctx,
 		baseCancel:  cancel,
 		studies:     map[string]*study{},
@@ -177,6 +189,9 @@ func New(opts Options) (*Server, error) {
 	}
 	if s.evictPolicy == "" {
 		s.evictPolicy = resultcache.LRU
+	}
+	if s.benchDir == "" {
+		s.benchDir = "."
 	}
 	if s.cluster != nil {
 		// The coordinator's dispatch/retry/fallback accounting lands on the
@@ -194,8 +209,25 @@ func New(opts Options) (*Server, error) {
 // Cache returns the server's result cache store.
 func (s *Server) Cache() *resultcache.Store { return s.cache }
 
-// Counters returns the server's process-lifetime counters.
+// Counters returns the server's process-lifetime counters (work not
+// attributable to one study; see TotalCounters for the daemon-wide view).
 func (s *Server) Counters() *experiment.Counters { return &s.counters }
+
+// TotalCounters folds every counter population into one daemon-wide
+// snapshot: the process counters (cluster dispatch, jobs served for remote
+// coordinators), every live study's private counters, and the counters of
+// studies already evicted or replaced (retired). This is the series the
+// /metrics endpoint exports, so totals are continuous across study
+// eviction.
+func (s *Server) TotalCounters() experiment.CounterSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := s.counters.Snapshot().Add(s.retired)
+	for _, st := range s.studies {
+		total = total.Add(st.counters.Snapshot())
+	}
+	return total
+}
 
 // StudyID is the content address of a study: the hash of its normalized
 // spec's canonical JSON, truncated to 16 hex characters (64 bits — ample
@@ -245,6 +277,9 @@ func (s *Server) Submit(spec experiment.Spec) (StudyStatus, error) {
 			s.deduped.Add(1)
 			return st.Status(), nil
 		}
+		// The failed/canceled entry is about to be replaced by a fresh run;
+		// retire its counters so the daemon-wide totals keep its work.
+		s.retired = s.retired.Add(st.counters.Snapshot())
 	}
 	st := newStudy(id, norm)
 	s.seq++
@@ -257,7 +292,7 @@ func (s *Server) Submit(spec experiment.Spec) (StudyStatus, error) {
 	s.mu.Unlock()
 
 	s.submitted.Add(1)
-	s.logf("study %s (%s): submitted, %d points", id, norm.Name, st.total)
+	s.logf("study %s (%s): submitted, %d points", id, norm.Name, norm.NumPoints())
 	go s.run(ctx, st)
 
 	status := st.Status()
@@ -278,7 +313,7 @@ func (s *Server) run(ctx context.Context, st *study) {
 		Parallelism:      s.par,
 		PointParallelism: s.pointPar,
 		Cache:            s.cache,
-		Counters:         &s.counters,
+		Counters:         &st.counters,
 		ResultsPath:      ckpt,
 		Progress: func(done, total int, r experiment.PointResult) {
 			st.progress(done, total, r)
@@ -321,6 +356,9 @@ func (s *Server) evictTerminalLocked() {
 	}
 	sort.Slice(terminals, func(i, j int) bool { return terminals[i].seq < terminals[j].seq })
 	for _, v := range terminals[:len(terminals)-maxTerminalStudies] {
+		// Fold the evicted study's work into the retired bucket so the
+		// daemon-wide counters never move backwards.
+		s.retired = s.retired.Add(s.studies[v.id].counters.Snapshot())
 		delete(s.studies, v.id)
 	}
 }
@@ -398,14 +436,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 type study struct {
 	id     string
 	spec   experiment.Spec
-	total  int
 	seq    uint64 // submission order (Server.seq), for eviction
 	cancel context.CancelFunc
+
+	// counters is the study's private work/cache accounting, surfaced per
+	// study by /api/v1/perf and folded into the daemon totals.
+	counters experiment.Counters
 
 	mu      sync.Mutex
 	notify  chan struct{} // closed and replaced on every update
 	state   State
 	done    int
+	total   int // grows past the seed grid while an adaptive study refines
 	events  []ProgressEvent
 	results []experiment.PointResult
 	errMsg  string
@@ -438,6 +480,9 @@ func (st *study) progress(done, total int, r experiment.PointResult) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.done = done
+	// Adaptive studies insert points as they refine: the runner's total is
+	// authoritative, the spec's NumPoints is only the seed grid.
+	st.total = total
 	st.events = append(st.events, ProgressEvent{Done: done, Total: total, Point: r})
 	st.results = append(st.results, r)
 	st.broadcast()

@@ -89,7 +89,7 @@ func TestResubmissionCountsAsDedupe(t *testing.T) {
 	if _, err := client.Run(context.Background(), spec, nil); err != nil {
 		t.Fatal(err)
 	}
-	slotsBefore := srv.Counters().SlotsSimulated.Load()
+	slotsBefore := srv.TotalCounters().SlotsSimulated
 
 	status, err := client.Submit(context.Background(), spec)
 	if err != nil {
@@ -98,7 +98,7 @@ func TestResubmissionCountsAsDedupe(t *testing.T) {
 	if status.Created || status.State != StateDone {
 		t.Fatalf("resubmission = %+v, want joined done study", status)
 	}
-	if got := srv.Counters().SlotsSimulated.Load(); got != slotsBefore {
+	if got := srv.TotalCounters().SlotsSimulated; got != slotsBefore {
 		t.Errorf("resubmission simulated %d new slots, want 0", got-slotsBefore)
 	}
 	if srv.deduped.Load() != 1 {
@@ -137,14 +137,14 @@ func TestConcurrentIdenticalSubmissionsShareOneExecution(t *testing.T) {
 	if state, _, err := client.Results(context.Background(), ids[0], true); err != nil || state != StateDone {
 		t.Fatalf("study ended %v err %v, want done", state, err)
 	}
-	if runs := srv.Counters().StudiesRun.Load(); runs != 1 {
+	if runs := srv.TotalCounters().StudiesRun; runs != 1 {
 		t.Errorf("%d executions started for %d identical submissions, want 1", runs, n)
 	}
 	if srv.submitted.Load() != 1 || srv.deduped.Load() != n-1 {
 		t.Errorf("submitted %d deduped %d, want 1 and %d", srv.submitted.Load(), srv.deduped.Load(), n-1)
 	}
 	// Every point computed exactly once.
-	if pts := srv.Counters().PointsComputed.Load(); pts != int64(spec.NumPoints()) {
+	if pts := srv.TotalCounters().PointsComputed; pts != int64(spec.NumPoints()) {
 		t.Errorf("computed %d points, want %d", pts, spec.NumPoints())
 	}
 }

@@ -10,6 +10,7 @@ func init() {
 		Name:            "ufs",
 		Description:     "Uniform Frame Spreading: full-frame accumulation then one packet per intermediate port",
 		OrderPreserving: true,
+		Twin:            "markov",
 		Rank:            20,
 		New: func(cfg registry.ArchConfig) (sim.Switch, error) {
 			return New(cfg.N), nil
