@@ -382,7 +382,7 @@ func BenchmarkSizeSweepStep(b *testing.B) {
 // includes P and each parallelism level warms its own switch. On a
 // single-CPU machine the parallel points measure coordination overhead
 // only; the speedup comparison belongs on a multi-core runner (see the CI
-// benchmark job and BENCH_8.json).
+// benchmark job and BENCH_9.json).
 func BenchmarkParallelStep(b *testing.B) {
 	const n = 4096
 	for _, p := range []int{1, 2, 4, 8} {

@@ -1,10 +1,10 @@
 // Command benchsnap measures the canonical slot-stepping benchmarks and
-// writes (or checks) the machine-readable snapshot BENCH_8.json.
+// writes (or checks) the machine-readable snapshot BENCH_9.json.
 //
 // Usage:
 //
-//	benchsnap -out BENCH_8.json [-sizes 256,1024,4096] [-pars 1,2,4,8]
-//	benchsnap -check -against BENCH_8.json [-tolerance 0.10] [-out fresh.json]
+//	benchsnap -out BENCH_9.json [-sizes 256,1024,4096] [-pars 1,2,4,8]
+//	benchsnap -check -against BENCH_9.json [-tolerance 0.10] [-out fresh.json]
 //
 // Without -check it measures and writes the snapshot. With -check it
 // measures, optionally writes the fresh snapshot (for CI artifacts), and
@@ -35,9 +35,9 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_8.json", "snapshot file to write (empty = do not write)")
+	out := flag.String("out", "BENCH_9.json", "snapshot file to write (empty = do not write)")
 	check := flag.Bool("check", false, "compare the fresh measurement against -against and fail on regression")
-	against := flag.String("against", "BENCH_8.json", "committed baseline snapshot for -check")
+	against := flag.String("against", "BENCH_9.json", "committed baseline snapshot for -check")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/op regression for sequential points")
 	sizes := flag.String("sizes", "256,1024,4096", "comma-separated switch sizes")
 	pars := flag.String("pars", "1,2,4,8", "comma-separated parallelism levels, applied to the largest size")

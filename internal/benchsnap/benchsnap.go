@@ -1,6 +1,6 @@
 // Package benchsnap measures the canonical per-slot stepping benchmarks
 // with testing.Benchmark and serializes them as a machine-readable
-// snapshot, so performance is a reviewable artifact (BENCH_8.json) and a
+// snapshot, so performance is a reviewable artifact (BENCH_9.json) and a
 // CI gate instead of a claim in a commit message.
 //
 // The snapshot records, per (switch size, parallelism) point, the ns/op of

@@ -26,10 +26,12 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sprinklers/internal/experiment"
 	"sprinklers/internal/resultcache"
+	"sprinklers/internal/stats"
 )
 
 // Job sources, reported by workers in JobResponse.Source.
@@ -68,6 +70,15 @@ type PermanentError struct{ Err error }
 func (e *PermanentError) Error() string { return e.Err.Error() }
 func (e *PermanentError) Unwrap() error { return e.Err }
 
+// ShedHeader marks a 503 job response as a deliberate queue shed (work
+// stealing), not a failure: the worker is alive and bounced a queued job
+// back so an idle peer can take it. The coordinator retries immediately,
+// elsewhere, without marking the worker suspect.
+const ShedHeader = "X-Sprinklerd-Shed"
+
+// errShed classifies a shed response inside the retry loop.
+var errShed = errors.New("cluster: queued job shed by worker for rebalancing")
+
 // Options configures a Coordinator.
 type Options struct {
 	// Workers lists the worker daemon base URLs known at startup; more may
@@ -102,6 +113,23 @@ type Options struct {
 	// execution policy). Jobs dispatched to workers use each worker's own
 	// setting — parallelism is node-local and never on the wire.
 	PointParallelism int
+	// Steal lets an idle worker's push heartbeat trigger work stealing: the
+	// deepest peer with a fresh queue report is asked to shed half its
+	// queued (not yet executing) jobs, which re-enter the retry loop and
+	// route to the idle worker. Stealing never loses or duplicates work —
+	// a shed job has not simulated anything.
+	Steal bool
+	// SpeculatePct, in (0, 1), arms speculative tail re-execution: when at
+	// most SpeculateTailK jobs are in flight and one has been outstanding
+	// longer than this percentile of observed dispatch latency, a backup is
+	// dispatched to another worker and the first result wins. The loser is
+	// deduplicated by the per-replica CAS key; a loser that simulated anyway
+	// is counted in SpeculativeWasted, never aggregated. 0 disables.
+	SpeculatePct float64
+	// SpeculateTailK bounds speculation to the study tail: backups launch
+	// only while at most this many RunReplica calls are in flight
+	// (default 4).
+	SpeculateTailK int
 	// Counters receives job-level accounting (required for metrics; nil
 	// allocates a private set).
 	Counters *experiment.Counters
@@ -113,15 +141,29 @@ type Options struct {
 type worker struct {
 	url string
 
+	// stealing serializes steal attempts against this worker: at most one
+	// shed request is in flight per victim.
+	stealing atomic.Bool
+
 	mu      sync.Mutex
 	healthy bool
 	fails   int // consecutive failures
+	// lastContact is the last time this worker answered anything — a probe,
+	// a dispatch, or a push heartbeat. The probe loop skips workers heard
+	// from within the heartbeat interval.
+	lastContact time.Time
+	// report is the worker's last pushed load report and when it arrived
+	// (zero reportTime = never). Stale reports fall out of placement.
+	report      LoadReport
+	reportTime  time.Time
+	outstanding int // dispatches the coordinator currently has in flight here
 }
 
 func (w *worker) ok() {
 	w.mu.Lock()
 	w.healthy = true
 	w.fails = 0
+	w.lastContact = time.Now()
 	w.mu.Unlock()
 }
 
@@ -144,6 +186,58 @@ func (w *worker) isHealthy() bool {
 	return w.healthy
 }
 
+// heardWithin reports whether the worker is healthy and answered something
+// within d — the probe-suppression predicate. A worker the coordinator has
+// outstanding dispatches on also counts as in contact: the dispatch outcome
+// (bounded by the lease) is a stronger health signal than a probe, and
+// probing a worker mid-simulation only adds load and false suspicion.
+// Suspect workers never match — probing is how they revive.
+func (w *worker) heardWithin(d time.Duration) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.healthy {
+		return false
+	}
+	if w.outstanding > 0 {
+		return true
+	}
+	return !w.lastContact.IsZero() && time.Since(w.lastContact) < d
+}
+
+// addOutstanding tracks the coordinator's own in-flight dispatches to this
+// worker — load signal that needs no report at all.
+func (w *worker) addOutstanding(n int) {
+	w.mu.Lock()
+	w.outstanding += n
+	w.mu.Unlock()
+}
+
+// load returns the worker's effective load for placement: the coordinator's
+// own outstanding dispatches, plus the worker's reported queue depth and
+// in-flight jobs when the report is fresher than staleAfter. fresh reports
+// whether a report backed the value.
+func (w *worker) load(staleAfter time.Duration) (depth int, fresh bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	depth = w.outstanding
+	if !w.reportTime.IsZero() && time.Since(w.reportTime) < staleAfter {
+		return depth + w.report.QueueDepth + w.report.Inflight, true
+	}
+	return depth, false
+}
+
+// queueDepth returns the worker's reported queue depth when the report is
+// fresher than staleAfter — the steal-victim signal (only queued, not yet
+// executing, jobs can be shed).
+func (w *worker) queueDepth(staleAfter time.Duration) (int, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.reportTime.IsZero() || time.Since(w.reportTime) >= staleAfter {
+		return 0, false
+	}
+	return w.report.QueueDepth, true
+}
+
 // Coordinator shards replica jobs across worker daemons and survives their
 // deaths. Create one with New, start its health loop with Start, and hang
 // RunReplica off experiment.StudyConfig.ReplicaRunner.
@@ -155,6 +249,16 @@ type Coordinator struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// active counts RunReplica calls in flight — the tail signal that gates
+	// speculation. specPending counts speculative losers not yet reaped.
+	active      atomic.Int64
+	specPending atomic.Int64
+
+	// specLat tracks the SpeculatePct percentile of successful dispatch
+	// latencies (nil when speculation is disabled); guarded by specMu.
+	specMu  sync.Mutex
+	specLat *stats.P2
 
 	mu      sync.Mutex
 	workers []*worker
@@ -182,6 +286,9 @@ func New(opts Options) *Coordinator {
 	if opts.MaxBackoff <= 0 {
 		opts.MaxBackoff = 2 * time.Second
 	}
+	if opts.SpeculateTailK <= 0 {
+		opts.SpeculateTailK = 4
+	}
 	seed := opts.Seed
 	if seed == 0 {
 		seed = 1
@@ -192,6 +299,9 @@ func New(opts Options) *Coordinator {
 		counters: opts.Counters,
 		logf:     opts.Logf,
 		rng:      rand.New(rand.NewSource(seed)),
+	}
+	if opts.SpeculatePct > 0 && opts.SpeculatePct < 1 {
+		c.specLat = stats.NewP2(opts.SpeculatePct)
 	}
 	if c.counters == nil {
 		c.counters = &experiment.Counters{}
@@ -216,27 +326,57 @@ func (c *Coordinator) UseCounters(ctr *experiment.Counters) {
 
 // Register adds a worker by base URL (idempotent). A re-registering
 // worker — e.g. one that restarted — is revived immediately.
-func (c *Coordinator) Register(url string) {
+func (c *Coordinator) Register(url string) { c.register(url) }
+
+// register adds (or revives) a worker and returns its table entry.
+func (c *Coordinator) register(url string) *worker {
 	url = strings.TrimSuffix(url, "/")
 	if url == "" {
-		return
+		return nil
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	for _, w := range c.workers {
 		if w.url == url {
+			c.mu.Unlock()
 			w.ok()
-			return
+			return w
 		}
 	}
 	w := &worker{url: url, healthy: true}
+	w.ok()
 	c.workers = append(c.workers, w)
-	c.logf("cluster: worker %s registered (%d total)", url, len(c.workers))
+	n := len(c.workers)
+	c.mu.Unlock()
+	c.logf("cluster: worker %s registered (%d total)", url, n)
+	return w
 }
 
 // Heartbeat records a push heartbeat from a worker (the /cluster/heartbeat
 // endpoint), registering it if unknown.
-func (c *Coordinator) Heartbeat(url string) { c.Register(url) }
+func (c *Coordinator) Heartbeat(url string) { c.HeartbeatLoad(url, nil) }
+
+// HeartbeatLoad records a push heartbeat carrying the worker's load report
+// (nil = a bare registration). Contact time is recorded so the probe loop
+// stops re-probing workers that just pushed; an idle report from a worker
+// may trigger work stealing from the deepest peer.
+func (c *Coordinator) HeartbeatLoad(url string, load *LoadReport) {
+	w := c.register(url)
+	if w == nil {
+		return
+	}
+	if load == nil {
+		return
+	}
+	now := time.Now()
+	w.mu.Lock()
+	w.report = *load
+	w.reportTime = now
+	idle := load.QueueDepth == 0 && load.Inflight == 0
+	w.mu.Unlock()
+	if idle {
+		c.maybeSteal(w)
+	}
+}
 
 // Start runs the health-probe loop until ctx is done: every interval each
 // worker's /healthz is probed, failures accumulate toward suspect, and a
@@ -256,9 +396,28 @@ func (c *Coordinator) Start(ctx context.Context) {
 	}()
 }
 
+// probeTimeoutFloor is the minimum per-probe timeout, regardless of how
+// tight the heartbeat interval is tuned.
+const probeTimeoutFloor = time.Second
+
 func (c *Coordinator) probeAll(ctx context.Context) {
 	for _, w := range c.snapshotWorkers() {
-		pctx, cancel := context.WithTimeout(ctx, c.opts.HeartbeatInterval)
+		if w.heardWithin(c.opts.HeartbeatInterval) {
+			// A push heartbeat (or successful dispatch) just came in; a
+			// probe would only add load. Suspect workers never match —
+			// probing is how they revive.
+			continue
+		}
+		// The probe timeout only bounds a hung worker; it is NOT the probe
+		// cadence. Flooring it decouples tightly-tuned heartbeat intervals
+		// from probe latency on a loaded machine, where an in-process
+		// worker can take tens of milliseconds to answer /healthz —
+		// timing out such probes marks perfectly healthy workers suspect.
+		timeout := c.opts.HeartbeatInterval
+		if timeout < probeTimeoutFloor {
+			timeout = probeTimeoutFloor
+		}
+		pctx, cancel := context.WithTimeout(ctx, timeout)
 		err := c.probe(pctx, w.url)
 		cancel()
 		if err == nil {
@@ -310,29 +469,6 @@ func (c *Coordinator) healthyURLs() []string {
 	return out
 }
 
-// pick returns the next healthy worker round-robin, preferring one other
-// than avoid when at least two are healthy (a failed job should move, not
-// hammer the same suspect). nil means no healthy worker.
-func (c *Coordinator) pick(avoid *worker) *worker {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := len(c.workers)
-	var fallback *worker
-	for i := 0; i < n; i++ {
-		w := c.workers[c.rr%n]
-		c.rr++
-		if !w.isHealthy() {
-			continue
-		}
-		if w == avoid {
-			fallback = w
-			continue
-		}
-		return w
-	}
-	return fallback
-}
-
 // Degraded reports whether the cluster has workers configured but none
 // healthy — the state /healthz and /metrics surface while the coordinator
 // runs jobs locally.
@@ -347,6 +483,10 @@ func (c *Coordinator) Degraded() bool {
 type Stats struct {
 	WorkersTotal   int
 	WorkersHealthy int
+	// SpeculativePending counts speculative losers still in flight: backup
+	// races whose slower branch has not returned yet. Tests wait for it to
+	// reach zero before asserting the replicas-computed invariant.
+	SpeculativePending int
 }
 
 // Snapshot returns the cluster's current worker counts.
@@ -354,7 +494,11 @@ func (c *Coordinator) Snapshot() Stats {
 	c.mu.Lock()
 	n := len(c.workers)
 	c.mu.Unlock()
-	return Stats{WorkersTotal: n, WorkersHealthy: len(c.healthyURLs())}
+	return Stats{
+		WorkersTotal:       n,
+		WorkersHealthy:     len(c.healthyURLs()),
+		SpeculativePending: int(c.specPending.Load()),
+	}
 }
 
 // backoff sleeps the capped exponential backoff for the given retry
@@ -386,7 +530,10 @@ func (c *Coordinator) backoff(ctx context.Context, attempt int) error {
 // healthy worker remains or the retry budget is exhausted. It is the
 // experiment.StudyConfig.ReplicaRunner of a cluster-mode study.
 func (c *Coordinator) RunReplica(ctx context.Context, spec experiment.Spec, key experiment.PointKey, rep int) (experiment.Point, error) {
+	c.active.Add(1)
+	defer c.active.Add(-1)
 	var last *worker
+	shed := false
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return experiment.Point{}, err
@@ -395,20 +542,23 @@ func (c *Coordinator) RunReplica(ctx context.Context, spec experiment.Spec, key 
 		if w == nil {
 			break // nobody healthy: degrade below
 		}
-		if attempt > 0 {
+		if attempt > 0 && !shed {
 			c.counters.JobsRetried.Add(1)
 			if last != nil && w != last {
+				// Failover to a different healthy worker is immediate:
+				// backoff only gates retries against the same (suspect)
+				// path, where hammering would make things worse.
 				c.counters.JobsRedispatched.Add(1)
 				c.logf("cluster: job %s rep %d re-dispatched %s -> %s", key, rep, last.url, w.url)
-			}
-			if err := c.backoff(ctx, attempt); err != nil {
+			} else if err := c.backoff(ctx, attempt); err != nil {
 				return experiment.Point{}, err
 			}
 		}
+		shed = false
 		c.counters.JobsDispatched.Add(1)
-		p, src, err := c.dispatch(ctx, w, spec, key, rep)
+		p, src, winner, err := c.dispatchSpeculate(ctx, w, spec, key, rep)
 		if err == nil {
-			w.ok()
+			winner.ok()
 			if src == SourcePeer {
 				c.counters.PeerCacheFills.Add(1)
 			}
@@ -420,6 +570,16 @@ func (c *Coordinator) RunReplica(ctx context.Context, spec experiment.Spec, key 
 		}
 		if cerr := ctx.Err(); cerr != nil {
 			return experiment.Point{}, cerr
+		}
+		if errors.Is(err, errShed) {
+			// The worker is alive and deliberately bounced the queued job so
+			// an idle peer can take it: re-pick immediately with no failure
+			// mark, no retry accounting, no backoff.
+			c.counters.JobsStolen.Add(1)
+			c.logf("cluster: job %s rep %d stolen from %s (queue shed)", key, rep, w.url)
+			shed = true
+			last = w
+			continue
 		}
 		if w.fail(c.opts.SuspectAfter) {
 			c.logf("cluster: worker %s marked suspect (dispatch: %v)", w.url, err)
@@ -457,6 +617,10 @@ func (c *Coordinator) dispatch(ctx context.Context, w *worker, spec experiment.S
 		return experiment.Point{}, "", err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get(ShedHeader) != "" {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024)) //nolint:errcheck
+		return experiment.Point{}, "", errShed
+	}
 	if resp.StatusCode/100 != 2 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		err := fmt.Errorf("cluster: %s: %s: %s", w.url, resp.Status, strings.TrimSpace(string(msg)))

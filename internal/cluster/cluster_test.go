@@ -14,10 +14,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -362,6 +364,215 @@ func TestWorkerRejoinsAfterRegister(t *testing.T) {
 	runRemote(t, coordinator, spec2)
 	if got := w2.srv.Counters().ReplicasComputed.Load(); got != totalReplicas(spec2) {
 		t.Errorf("rejoined worker computed %d replicas, want %d", got, totalReplicas(spec2))
+	}
+}
+
+// TestFailoverToHealthyPeerIsImmediate: backoff must only gate retries
+// against the same (suspect) path — when a healthy peer exists, a failed
+// job moves there with no sleep at all. The regression this pins: with
+// BaseBackoff cranked to 5s, a study whose first worker is dead must still
+// finish in a fraction of one backoff period.
+func TestFailoverToHealthyPeerIsImmediate(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	w2 := newNode(t, service.Options{})
+
+	copts := fastOptions(deadURL, w2.url())
+	copts.BaseBackoff = 5 * time.Second
+	copts.MaxBackoff = 5 * time.Second
+	copts.SuspectAfter = 1
+	copts.HeartbeatInterval = time.Hour // no probe loop: dispatch failures drive health
+	coordinator, _ := newCoordinator(t, copts, service.Options{})
+	spec := testSpec("cluster-immediate-failover")
+
+	start := time.Now()
+	remote := runRemote(t, coordinator, spec)
+	elapsed := time.Since(start)
+	if local := localReference(t, spec); !bytes.Equal(remote, local) {
+		t.Errorf("failover results differ from local:\n%s\nvs\n%s", remote, local)
+	}
+	// The jittered sleep for one 5s-backoff retry is at least 2.5s; an
+	// immediate failover finishes the whole study well under that.
+	if elapsed >= copts.BaseBackoff/2 {
+		t.Errorf("study took %v with a dead first worker; failover to the healthy peer must not sleep the %v backoff", elapsed, copts.BaseBackoff)
+	}
+	c := coordinator.srv.Counters()
+	if got := c.JobsRedispatched.Load(); got == 0 {
+		t.Error("JobsRedispatched = 0, want > 0: the dead worker's job must move")
+	}
+}
+
+// TestShedBouncesJobWithoutBackoff: a worker answering 503 + the shed
+// header is deliberately rebalancing, not failing — the coordinator must
+// re-dispatch immediately (no backoff, no retry accounting) and must not
+// mark the shedding worker suspect.
+func TestShedBouncesJobWithoutBackoff(t *testing.T) {
+	var sheds atomic.Int64
+	shedder := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/api/v1/jobs") {
+			sheds.Add(1)
+			w.Header().Set(cluster.ShedHeader, "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"shed for rebalancing"}`)
+			return
+		}
+		fmt.Fprintln(w, "ok") // healthz
+	}))
+	defer shedder.Close()
+	real := newNode(t, service.Options{})
+
+	copts := fastOptions(shedder.URL, real.url())
+	copts.BaseBackoff = 5 * time.Second
+	copts.MaxBackoff = 5 * time.Second
+	coordinator, coord := newCoordinator(t, copts, service.Options{})
+	spec := testSpec("cluster-shed-bounce")
+
+	start := time.Now()
+	remote := runRemote(t, coordinator, spec)
+	elapsed := time.Since(start)
+	if local := localReference(t, spec); !bytes.Equal(remote, local) {
+		t.Errorf("results with a shedding worker differ from local:\n%s\nvs\n%s", remote, local)
+	}
+	if sheds.Load() == 0 {
+		t.Fatal("the shedding worker never saw a job; the test exercised nothing")
+	}
+	if elapsed >= copts.BaseBackoff/2 {
+		t.Errorf("study took %v; shed jobs must re-dispatch with no backoff", elapsed)
+	}
+	c := coordinator.srv.Counters()
+	if got := c.JobsStolen.Load(); got == 0 {
+		t.Error("JobsStolen = 0, want > 0 for shed responses")
+	}
+	if got := c.JobsRetried.Load(); got != 0 {
+		t.Errorf("JobsRetried = %d, want 0: a shed is not a failure", got)
+	}
+	if s := coord.Snapshot(); s.WorkersHealthy != 2 {
+		t.Errorf("healthy workers = %d, want 2: shedding must not mark a worker suspect", s.WorkersHealthy)
+	}
+}
+
+// wideSpec is testSpec with twice the load points — 8 points x 2 replicas
+// = 16 jobs, enough runway for stealing and speculation to engage.
+func wideSpec(name string) experiment.Spec {
+	s := testSpec(name)
+	s.Loads = []float64{0.2, 0.4, 0.6, 0.8}
+	return s
+}
+
+// TestIdleHeartbeatStealsFromDeepWorker: all jobs initially pile onto one
+// slow single-slot worker; when an idle worker joins mid-study (push
+// heartbeats), its idle reports must trigger stealing — queued jobs are
+// shed off the deep worker and complete on the idle one — with bytes and
+// the exactly-once invariant intact.
+func TestIdleHeartbeatStealsFromDeepWorker(t *testing.T) {
+	slow := newNode(t, service.Options{JobSlots: 1, JobDelay: 150 * time.Millisecond})
+	fast := newNode(t, service.Options{})
+
+	copts := fastOptions(slow.url()) // only the slow worker is known at start
+	copts.Steal = true
+	coordinator, _ := newCoordinator(t, copts, service.Options{Parallelism: 4})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go slow.srv.JoinCluster(ctx, coordinator.url(), slow.url(), 10*time.Millisecond, nil)
+	go func() {
+		// The idle worker joins once the slow worker's queue has formed.
+		time.Sleep(200 * time.Millisecond)
+		fast.srv.JoinCluster(ctx, coordinator.url(), fast.url(), 10*time.Millisecond, nil)
+	}()
+
+	spec := wideSpec("cluster-steal")
+	remote := runRemote(t, coordinator, spec)
+	if local := localReference(t, spec); !bytes.Equal(remote, local) {
+		t.Errorf("results under work stealing differ from local:\n%s\nvs\n%s", remote, local)
+	}
+	c := coordinator.srv.Counters()
+	if got := c.JobsStolen.Load(); got == 0 {
+		t.Error("JobsStolen = 0, want > 0: the idle worker's heartbeat must steal queued jobs")
+	}
+	if got := fast.srv.Counters().ReplicasComputed.Load(); got == 0 {
+		t.Error("the joining worker computed nothing; stolen jobs must land on it")
+	}
+	want := totalReplicas(spec)
+	if got := replicasComputedAcross(slow, fast); got != want {
+		t.Errorf("computed %d replicas, want exactly %d: stealing must never duplicate work", got, want)
+	}
+}
+
+// TestStragglerSpeculativeTail: one worker is a straggler (single slot,
+// 300ms stall per job). With speculation armed, slow jobs must be raced by
+// backups on the healthy peer: the study finishes near the healthy
+// baseline, bytes identical, and every extra simulated replica is a
+// counted speculative loser — never aggregated twice.
+func TestStragglerSpeculativeTail(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+
+	specOpts := func(workers ...string) cluster.Options {
+		copts := fastOptions(workers...)
+		copts.Steal = false // isolate speculation from stealing
+		copts.SpeculatePct = 0.5
+		copts.SpeculateTailK = 8
+		return copts
+	}
+	join := func(n *node, coordinator *node) {
+		go n.srv.JoinCluster(ctx, coordinator.url(), n.url(), 10*time.Millisecond, nil)
+	}
+
+	// Healthy baseline: same topology, no straggler.
+	b1 := newNode(t, service.Options{})
+	b2 := newNode(t, service.Options{})
+	baseCoord, _ := newCoordinator(t, specOpts(b1.url(), b2.url()), service.Options{Parallelism: 4})
+	join(b1, baseCoord)
+	join(b2, baseCoord)
+	baseStart := time.Now()
+	runRemote(t, baseCoord, wideSpec("cluster-speculate-baseline"))
+	healthyWall := time.Since(baseStart)
+
+	// Straggler run.
+	straggler := newNode(t, service.Options{JobSlots: 1, JobDelay: 300 * time.Millisecond})
+	healthy := newNode(t, service.Options{})
+	coordinator, coord := newCoordinator(t, specOpts(straggler.url(), healthy.url()), service.Options{Parallelism: 4})
+	join(straggler, coordinator)
+	join(healthy, coordinator)
+
+	spec := wideSpec("cluster-speculate")
+	start := time.Now()
+	remote := runRemote(t, coordinator, spec)
+	wall := time.Since(start)
+	if local := localReference(t, spec); !bytes.Equal(remote, local) {
+		t.Errorf("results under speculation differ from local:\n%s\nvs\n%s", remote, local)
+	}
+
+	c := coordinator.srv.Counters()
+	launched := c.SpeculativeLaunched.Load()
+	if launched == 0 {
+		t.Error("SpeculativeLaunched = 0, want > 0: jobs stuck behind the straggler must get backups")
+	}
+	// 1.5x the healthy wall, with generous absolute slack for a loaded
+	// 1-CPU CI box: the point is that the straggler's 300ms-per-job stall
+	// does not serialize the study tail.
+	if bound := healthyWall + healthyWall/2 + 2*time.Second; wall > bound {
+		t.Errorf("straggler run took %v, want <= %v (healthy baseline %v)", wall, bound, healthyWall)
+	}
+
+	// Let in-flight losers finish before auditing the ledger.
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.Snapshot().SpeculativePending != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("speculative losers never reaped")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	wasted := c.SpeculativeWasted.Load()
+	extra := replicasComputedAcross(straggler, healthy) - totalReplicas(spec)
+	// Every replica beyond points x replicas must be a speculative loser:
+	// at least the counted wasted ones, never more than the launched
+	// backups (a loser canceled at study teardown may abort uncounted).
+	if extra < wasted || extra > launched {
+		t.Errorf("computed %d extra replicas with %d wasted / %d launched; losers must be CAS-deduped and counted",
+			extra, wasted, launched)
 	}
 }
 

@@ -1,0 +1,304 @@
+// Load-aware scheduling: the fast half of the fault-tolerant cluster.
+// Workers report queue depth, in-flight jobs and an EWMA of slots/sec in
+// their push heartbeats; the coordinator places jobs by power-of-two-choices
+// over those reports (degrading to exact round-robin when loads are equal
+// or reports are stale), lets an idle worker's heartbeat steal queued jobs
+// from the deepest peer, and near the study tail races a slow job against a
+// speculative backup on another worker — first result wins, the loser is
+// deduplicated by the per-replica CAS key and only ever counted, never
+// aggregated.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"sprinklers/internal/experiment"
+)
+
+// LoadReport is the load a worker pushes with its heartbeats: jobs waiting
+// for an execution slot, jobs currently simulating, and an exponentially
+// weighted moving average of simulated slots per second.
+type LoadReport struct {
+	QueueDepth  int     `json:"queue_depth"`
+	Inflight    int     `json:"inflight"`
+	SlotsPerSec float64 `json:"slots_per_sec,omitempty"`
+}
+
+// staleAfter is how long a pushed load report stays placement-relevant:
+// past three heartbeat intervals the worker has missed beats (or never
+// pushed at all) and placement falls back to round-robin.
+func (c *Coordinator) staleAfter() time.Duration {
+	return 3 * c.opts.HeartbeatInterval
+}
+
+// pick chooses the worker for one dispatch: power-of-two-choices over the
+// first two healthy candidates in round-robin order, by effective load
+// (the coordinator's own outstanding dispatches plus the worker's fresh
+// queue/inflight report). Ties go to round-robin order, so equal loads —
+// including the no-reports case — degrade to exact round-robin. A worker
+// equal to avoid is only returned when it is the sole healthy one (a
+// failed job should move, not hammer the same suspect). nil means no
+// healthy worker.
+func (c *Coordinator) pick(avoid *worker) *worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.workers)
+	if n == 0 {
+		return nil
+	}
+	var first, second, fallback *worker
+	for i := 0; i < n; i++ {
+		w := c.workers[(c.rr+i)%n]
+		if !w.isHealthy() {
+			continue
+		}
+		if w == avoid {
+			fallback = w
+			continue
+		}
+		if first == nil {
+			first = w
+			continue
+		}
+		second = w
+		break
+	}
+	c.rr = (c.rr + 1) % n
+	if first == nil {
+		return fallback
+	}
+	if second == nil {
+		return first
+	}
+	stale := c.staleAfter()
+	l1, _ := first.load(stale)
+	l2, _ := second.load(stale)
+	if l2 < l1 {
+		return second
+	}
+	return first
+}
+
+// maybeSteal reacts to an idle worker's heartbeat: the deepest healthy peer
+// with a fresh queue report is asked to shed half its queued jobs. The shed
+// jobs bounce back to their waiting RunReplica calls, which re-pick — and
+// the idle worker is now the least-loaded choice. At most one steal per
+// victim is in flight at a time; a failed shed just waits for the next idle
+// heartbeat.
+func (c *Coordinator) maybeSteal(thief *worker) {
+	if !c.opts.Steal {
+		return
+	}
+	stale := c.staleAfter()
+	var victim *worker
+	depth := 0
+	for _, w := range c.snapshotWorkers() {
+		if w == thief || !w.isHealthy() {
+			continue
+		}
+		if d, fresh := w.queueDepth(stale); fresh && d > depth {
+			victim, depth = w, d
+		}
+	}
+	if victim == nil || !victim.stealing.CompareAndSwap(false, true) {
+		return
+	}
+	n := (depth + 1) / 2
+	go func() {
+		defer victim.stealing.Store(false)
+		ctx, cancel := context.WithTimeout(context.Background(), c.opts.HeartbeatInterval)
+		defer cancel()
+		shed, err := c.shed(ctx, victim.url, n)
+		if err != nil {
+			c.logf("cluster: steal from %s for %s failed: %v", victim.url, thief.url, err)
+			return
+		}
+		if shed > 0 {
+			c.logf("cluster: %s idle: %d queued job(s) shed from %s", thief.url, shed, victim.url)
+		}
+	}()
+}
+
+// shed asks a worker to bounce up to n queued jobs back to the coordinator
+// and returns how many it actually shed.
+func (c *Coordinator) shed(ctx context.Context, url string, n int) (int, error) {
+	body, err := json.Marshal(map[string]int{"n": n})
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(url, "/")+"/api/v1/jobs/shed", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024)) //nolint:errcheck
+		return 0, fmt.Errorf("cluster: shed %s: %s", url, resp.Status)
+	}
+	var out struct {
+		Shed int `json:"shed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.Shed, nil
+}
+
+// observeLatency feeds one successful dispatch latency into the speculation
+// percentile estimator.
+func (c *Coordinator) observeLatency(d time.Duration) {
+	c.specMu.Lock()
+	if c.specLat != nil {
+		c.specLat.Add(float64(d))
+	}
+	c.specMu.Unlock()
+}
+
+// speculateMinSamples is how many dispatch latencies must be observed
+// before the percentile is trusted; speculateFloor bounds the threshold
+// from below so a burst of cache-hit dispatches cannot make every job
+// "slow".
+const (
+	speculateMinSamples = 8
+	speculateFloor      = 5 * time.Millisecond
+)
+
+// speculateThreshold returns how long a dispatch may run before a backup
+// launches, or 0 while speculation is disabled or under-sampled.
+func (c *Coordinator) speculateThreshold() time.Duration {
+	c.specMu.Lock()
+	defer c.specMu.Unlock()
+	if c.specLat == nil || c.specLat.Count() < speculateMinSamples {
+		return 0
+	}
+	d := time.Duration(c.specLat.Value())
+	if d < speculateFloor {
+		d = speculateFloor
+	}
+	return d
+}
+
+// send runs one dispatch with the coordinator's outstanding-load accounting
+// around it.
+func (c *Coordinator) send(ctx context.Context, w *worker, spec experiment.Spec, key experiment.PointKey, rep int) (experiment.Point, string, error) {
+	w.addOutstanding(1)
+	defer w.addOutstanding(-1)
+	return c.dispatch(ctx, w, spec, key, rep)
+}
+
+// specResult is one branch of a speculative race.
+type specResult struct {
+	p   experiment.Point
+	src string
+	err error
+	w   *worker
+}
+
+// dispatchSpeculate runs one dispatch, racing it against a speculative
+// backup on another worker when the study is near its tail (at most
+// SpeculateTailK jobs in flight) and the primary has been outstanding
+// longer than the observed latency percentile. The first successful result
+// wins and is the only one returned to the study; the loser is reaped in
+// the background — it either deduplicates via the per-replica CAS key
+// (cache or peer read) or, having simulated anyway, is counted in
+// SpeculativeWasted. The returned worker is the one that produced the
+// result (for health credit).
+func (c *Coordinator) dispatchSpeculate(ctx context.Context, w *worker, spec experiment.Spec, key experiment.PointKey, rep int) (experiment.Point, string, *worker, error) {
+	if c.specLat == nil {
+		p, src, err := c.send(ctx, w, spec, key, rep)
+		return p, src, w, err
+	}
+	start := time.Now()
+	ch := make(chan specResult, 2)
+	go func() {
+		p, src, err := c.send(ctx, w, spec, key, rep)
+		ch <- specResult{p, src, err, w}
+	}()
+	inflight := 1
+	backup := false
+	// Poll instead of arming one timer at the entry threshold: the
+	// percentile may only become available (or move) while this dispatch is
+	// already stuck behind a straggler.
+	poll := c.opts.HeartbeatInterval
+	if poll > 50*time.Millisecond {
+		poll = 50 * time.Millisecond
+	}
+	timer := time.NewTimer(poll)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			inflight--
+			if r.err == nil {
+				c.observeLatency(time.Since(start))
+				if inflight > 0 {
+					c.specPending.Add(1)
+					go c.reapLoser(ch)
+				}
+				return r.p, r.src, r.w, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if inflight == 0 {
+				return experiment.Point{}, "", w, firstErr
+			}
+			// The other branch is still running; wait for it.
+		case <-timer.C:
+			if !backup {
+				if th := c.speculateThreshold(); th > 0 && time.Since(start) >= th &&
+					c.active.Load() <= int64(c.opts.SpeculateTailK) {
+					if bw := c.pick(w); bw != nil && bw != w {
+						backup = true
+						inflight++
+						c.counters.SpeculativeLaunched.Add(1)
+						c.counters.JobsDispatched.Add(1)
+						c.logf("cluster: speculative backup for job %s rep %d on %s (primary %s past p%.0f)",
+							key, rep, bw.url, w.url, 100*c.opts.SpeculatePct)
+						go func() {
+							p, src, err := c.send(ctx, bw, spec, key, rep)
+							ch <- specResult{p, src, err, bw}
+						}()
+					}
+				}
+				timer.Reset(poll)
+			}
+		case <-ctx.Done():
+			// The study is gone; the in-flight sends abort with it (the
+			// channel is buffered, so they never leak).
+			return experiment.Point{}, "", w, ctx.Err()
+		}
+	}
+}
+
+// reapLoser accounts the slower branch of a speculative race after the
+// winner has already been returned. A loser that served from its cache or
+// a peer deduplicated via the CAS key — free. A loser that simulated is
+// wasted work, counted so the replicas-computed invariant can be stated
+// exactly: computed == points x replicas + SpeculativeWasted. An errored
+// loser (lease expiry, cancellation, a real death) computed nothing extra
+// and is left to the health machinery.
+func (c *Coordinator) reapLoser(ch <-chan specResult) {
+	r := <-ch
+	if r.err == nil {
+		r.w.ok()
+		if r.src == SourceComputed {
+			c.counters.SpeculativeWasted.Add(1)
+		}
+	}
+	c.specPending.Add(-1)
+}

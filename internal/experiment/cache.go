@@ -69,6 +69,19 @@ type Counters struct {
 	// LocalFallbacks counts replica jobs the coordinator ran in-process
 	// because no healthy worker was available (degraded mode).
 	LocalFallbacks atomic.Int64
+	// JobsStolen counts queued replica jobs a worker shed back to the
+	// coordinator so an idle peer could take them (work stealing). A stolen
+	// job was never executed by the victim, so stealing never duplicates
+	// work — the job simply re-dispatches.
+	JobsStolen atomic.Int64
+	// SpeculativeLaunched counts backup dispatches raced against a slow
+	// primary near the study tail; SpeculativeWasted counts the losing
+	// branches that actually re-simulated the replica (losers that
+	// deduplicated through the per-replica cache key cost nothing). When
+	// speculation fires, replicas computed across the fleet equals
+	// points x replicas + SpeculativeWasted.
+	SpeculativeLaunched atomic.Int64
+	SpeculativeWasted   atomic.Int64
 	// PointsRefined counts grid points inserted by adaptive refinement
 	// (recorded points beyond the seed grid); ReplicasEarlyStopped counts
 	// replicas the sequential CI rule skipped, and SlotsSavedEstimate the
@@ -94,6 +107,10 @@ type CounterSnapshot struct {
 	PeerCacheFills   int64 `json:"peer_cache_fills,omitempty"`
 	LocalFallbacks   int64 `json:"local_fallbacks,omitempty"`
 
+	JobsStolen          int64 `json:"jobs_stolen,omitempty"`
+	SpeculativeLaunched int64 `json:"speculative_launched,omitempty"`
+	SpeculativeWasted   int64 `json:"speculative_wasted,omitempty"`
+
 	PointsRefined        int64 `json:"points_refined,omitempty"`
 	ReplicasEarlyStopped int64 `json:"replicas_early_stopped,omitempty"`
 	SlotsSavedEstimate   int64 `json:"slots_saved_estimate,omitempty"`
@@ -115,6 +132,9 @@ func (s CounterSnapshot) Add(o CounterSnapshot) CounterSnapshot {
 		JobsRedispatched:     s.JobsRedispatched + o.JobsRedispatched,
 		PeerCacheFills:       s.PeerCacheFills + o.PeerCacheFills,
 		LocalFallbacks:       s.LocalFallbacks + o.LocalFallbacks,
+		JobsStolen:           s.JobsStolen + o.JobsStolen,
+		SpeculativeLaunched:  s.SpeculativeLaunched + o.SpeculativeLaunched,
+		SpeculativeWasted:    s.SpeculativeWasted + o.SpeculativeWasted,
 		PointsRefined:        s.PointsRefined + o.PointsRefined,
 		ReplicasEarlyStopped: s.ReplicasEarlyStopped + o.ReplicasEarlyStopped,
 		SlotsSavedEstimate:   s.SlotsSavedEstimate + o.SlotsSavedEstimate,
@@ -137,6 +157,10 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		JobsRedispatched: c.JobsRedispatched.Load(),
 		PeerCacheFills:   c.PeerCacheFills.Load(),
 		LocalFallbacks:   c.LocalFallbacks.Load(),
+
+		JobsStolen:          c.JobsStolen.Load(),
+		SpeculativeLaunched: c.SpeculativeLaunched.Load(),
+		SpeculativeWasted:   c.SpeculativeWasted.Load(),
 
 		PointsRefined:        c.PointsRefined.Load(),
 		ReplicasEarlyStopped: c.ReplicasEarlyStopped.Load(),

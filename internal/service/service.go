@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -83,6 +84,14 @@ type Options struct {
 	// nodes in one cluster may disagree on it and still produce identical
 	// bytes. 0/1 = sequential.
 	PointParallelism int
+	// JobSlots bounds how many cluster jobs this daemon simulates at once;
+	// arrivals beyond the bound queue in their handlers (visible as
+	// queue_depth in heartbeat load reports, and stealable). 0 = GOMAXPROCS.
+	JobSlots int
+	// JobDelay, when > 0, stalls every job execution by this much before
+	// simulating — a deterministic chaos knob that turns this daemon into a
+	// straggler for scheduler tests (`sprinklerd -chaos-job-delay`).
+	JobDelay time.Duration
 	// Logf, when set, receives one line per notable server event.
 	Logf func(format string, args ...any)
 
@@ -144,6 +153,18 @@ type Server struct {
 	deduped    atomic.Int64
 	jobsServed atomic.Int64
 
+	// Worker-side load accounting for heartbeat reports and stealing:
+	// jobSlots is the execution-slot semaphore, shedCh hands shed requests
+	// to queued job handlers, queued/inflight are the gauges reported in
+	// heartbeats, simRate is the EWMA of simulated slots/sec (float64 bits).
+	jobSlots chan struct{}
+	shedCh   chan struct{}
+	jobDelay time.Duration
+	queued   atomic.Int64
+	inflight atomic.Int64
+	jobsShed atomic.Int64
+	simRate  atomic.Uint64
+
 	mu       sync.Mutex
 	studies  map[string]*study
 	seq      uint64 // submission order, for terminal-study eviction
@@ -170,6 +191,10 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	slots := opts.JobSlots
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
 	s := &Server{
 		cache:       store,
 		par:         opts.Parallelism,
@@ -180,6 +205,9 @@ func New(opts Options) (*Server, error) {
 		peerHTTP:    opts.PeerHTTP,
 		evictPolicy: opts.EvictPolicy,
 		benchDir:    opts.BenchDir,
+		jobSlots:    make(chan struct{}, slots),
+		shedCh:      make(chan struct{}),
+		jobDelay:    opts.JobDelay,
 		baseCtx:     ctx,
 		baseCancel:  cancel,
 		studies:     map[string]*study{},

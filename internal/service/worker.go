@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"regexp"
 	"time"
@@ -21,9 +22,12 @@ import (
 // so any node can be a peer-fill source.
 //
 //	POST /api/v1/jobs               execute one leased (point, replica) job
+//	POST /api/v1/jobs/shed          bounce up to n queued jobs back to the
+//	                                coordinator (work stealing)
 //	GET  /api/v1/cas/{key}          raw result-cache entry (peer cache fill)
 //	POST /api/v1/cluster/register   worker joins the coordinator's fleet
-//	POST /api/v1/cluster/heartbeat  worker push heartbeat (implies register)
+//	POST /api/v1/cluster/heartbeat  worker push heartbeat (implies register;
+//	                                body may carry a load report)
 
 // maxJobBytes bounds a job request body; a job carries one spec plus a
 // point key, so this is generous.
@@ -144,8 +148,43 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// 3. Simulate.
+	// 3. Simulate — behind the job-slot semaphore, so a busy worker's
+	// surplus jobs queue here. A queued job is exactly the work stealing
+	// targets: it has not started, so shedding it back to the coordinator
+	// (503 + shed header) re-dispatches it with nothing lost or duplicated.
+	s.queued.Add(1)
+	select {
+	case s.jobSlots <- struct{}{}:
+		s.queued.Add(-1)
+	case <-s.shedCh:
+		s.queued.Add(-1)
+		s.jobsShed.Add(1)
+		w.Header().Set(cluster.ShedHeader, "1")
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("job %s rep %d shed for rebalancing", req.Point, req.Rep))
+		return
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("lease expired in queue: %w", ctx.Err()))
+		return
+	}
+	defer func() { <-s.jobSlots }()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.jobDelay > 0 {
+		// Chaos straggler: stall with the lease still enforced.
+		select {
+		case <-time.After(s.jobDelay):
+		case <-ctx.Done():
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("lease expired in delay: %w", ctx.Err()))
+			return
+		}
+	}
+	simStart := time.Now()
 	p, err := experiment.RunReplicaJob(ctx, spec, req.Point, req.Rep, s.pointPar, &s.counters, onSlot)
+	if err == nil {
+		s.observeSimRate(int64(spec.Slots+spec.Warmup), time.Since(simStart))
+	}
 	if crash != nil {
 		select {
 		case <-crash.Done():
@@ -207,13 +246,78 @@ func (s *Server) handleCAS(w http.ResponseWriter, r *http.Request) {
 	w.Write(b) //nolint:errcheck // the connection is the only failure mode
 }
 
-// clusterJoinRequest is the body of the register/heartbeat endpoints.
+// handleJobShed bounces up to n queued (not yet executing) jobs back to
+// the coordinator: each shed job's handler answers 503 with the shed
+// header, and the coordinator re-dispatches it immediately — the worker
+// half of work stealing. Only handlers blocked in the admission queue can
+// be shed (the send below is non-blocking and shedCh is unbuffered), so a
+// job that has started simulating is never interrupted and no work is
+// lost or duplicated.
+func (s *Server) handleJobShed(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		N int `json:"n"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding shed request: %w", err))
+		return
+	}
+	if req.N <= 0 {
+		req.N = 1
+	}
+	shed := 0
+	for shed < req.N {
+		select {
+		case s.shedCh <- struct{}{}:
+			shed++
+		default:
+			req.N = shed // no handler is waiting; stop
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"shed": shed})
+}
+
+// observeSimRate folds one completed replica simulation into the EWMA of
+// simulated slots per second that heartbeats report.
+func (s *Server) observeSimRate(slots int64, elapsed time.Duration) {
+	if slots <= 0 || elapsed <= 0 {
+		return
+	}
+	rate := float64(slots) / elapsed.Seconds()
+	for {
+		old := s.simRate.Load()
+		cur := math.Float64frombits(old)
+		next := rate
+		if old != 0 {
+			next = 0.7*cur + 0.3*rate
+		}
+		if s.simRate.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// LoadReport snapshots this daemon's worker-side load for a heartbeat:
+// jobs queued for an execution slot, jobs simulating, and the slots/sec
+// EWMA.
+func (s *Server) LoadReport() cluster.LoadReport {
+	return cluster.LoadReport{
+		QueueDepth:  int(s.queued.Load()),
+		Inflight:    int(s.inflight.Load()),
+		SlotsPerSec: math.Float64frombits(s.simRate.Load()),
+	}
+}
+
+// clusterJoinRequest is the body of the register/heartbeat endpoints. Load
+// is optional: plain registrations omit it, push heartbeats carry the
+// worker's current load for the coordinator's placement decisions.
 type clusterJoinRequest struct {
-	URL string `json:"url"`
+	URL  string              `json:"url"`
+	Load *cluster.LoadReport `json:"load,omitempty"`
 }
 
 // handleClusterRegister admits a worker to the coordinator's fleet (also
-// the push-heartbeat endpoint: registration is idempotent and revives).
+// the push-heartbeat endpoint: registration is idempotent and revives, and
+// a heartbeat's load report feeds load-aware placement and stealing).
 func (s *Server) handleClusterRegister(w http.ResponseWriter, r *http.Request) {
 	if s.cluster == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("this daemon is not a coordinator"))
@@ -228,16 +332,17 @@ func (s *Server) handleClusterRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("registration needs a worker url"))
 		return
 	}
-	s.cluster.Heartbeat(req.URL)
+	s.cluster.HeartbeatLoad(req.URL, req.Load)
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// JoinCluster announces selfURL to a coordinator and keeps heartbeating
-// every interval until ctx is done — the worker side of dynamic fleet
-// membership (`sprinklerd -join`). Failures are logged and retried on the
+// JoinCluster announces this daemon to a coordinator and keeps
+// heartbeating every interval until ctx is done — the worker side of
+// dynamic fleet membership (`sprinklerd -join`). Each beat carries the
+// worker's current load report. Failures are logged and retried on the
 // next tick: a worker that outlives a coordinator restart re-registers
 // itself the moment the coordinator is back.
-func JoinCluster(ctx context.Context, coordinatorURL, selfURL string, interval time.Duration, logf func(string, ...any)) {
+func (s *Server) JoinCluster(ctx context.Context, coordinatorURL, selfURL string, interval time.Duration, logf func(string, ...any)) {
 	if interval <= 0 {
 		interval = time.Second
 	}
@@ -245,7 +350,8 @@ func JoinCluster(ctx context.Context, coordinatorURL, selfURL string, interval t
 		logf = func(string, ...any) {}
 	}
 	beat := func() {
-		body, _ := json.Marshal(clusterJoinRequest{URL: selfURL})
+		load := s.LoadReport()
+		body, _ := json.Marshal(clusterJoinRequest{URL: selfURL, Load: &load})
 		bctx, cancel := context.WithTimeout(ctx, interval)
 		defer cancel()
 		req, err := http.NewRequestWithContext(bctx, http.MethodPost,
