@@ -16,6 +16,8 @@
 //	           [-job-slots N] [-chaos-job-delay D]
 //	           [-cache-max-bytes N] [-evict-policy lru|fifo|large_first]
 //	           [-sweep-interval 1m]
+//	           [-log-level info] [-log-format text|json] [-node NAME]
+//	           [-trace-spans N] [-pprof-listen ADDR] [-shard-stats]
 //
 // Cluster mode (see the README's Cluster section): with -coordinator the
 // daemon shards each study's replica jobs across the -workers fleet under
@@ -36,6 +38,15 @@
 // sweeper evicts entries under -evict-policy every -sweep-interval until
 // the cache fits.
 //
+// Observability (see the README's Observability section): logs are
+// structured (log/slog) with study/job/worker ids as attributes —
+// -log-format json emits one JSON object per line; -log-level gates
+// verbosity. Every job dispatched for a study is traced end to end and
+// served at GET /api/v1/trace/{study} (-trace-spans bounds the journal;
+// negative disables). -pprof-listen serves net/http/pprof on a separate
+// listener, and -shard-stats arms per-shard busy/wait profiling in the
+// parallel slot engine (visible in /api/v1/perf).
+//
 // Endpoints (see README for the full API):
 //
 //	POST /api/v1/studies            submit a spec
@@ -46,10 +57,13 @@
 //	POST /api/v1/cluster/register   worker registration (also /heartbeat)
 //	GET  /api/v1/catalog            registered architectures/workloads/
 //	     scenarios with their option schemas
-//	GET  /healthz, GET /metrics     liveness ("ok" or "degraded") and
-//	     Prometheus-style counters
+//	GET  /healthz, GET /metrics     liveness ("ok" or "degraded"),
+//	     Prometheus-style counters and latency histograms
 //	GET  /api/v1/perf               daemon-wide and per-study work counters
 //	     plus the committed BENCH_*.json snapshots under -bench-dir
+//	GET  /api/v1/trace/{study}      merged job trace timeline
+//	     (?format=chrome for Perfetto)
+//	GET  /api/v1/version            build identity (go version, VCS revision)
 //
 // On SIGINT/SIGTERM the daemon drains: running studies are canceled, each
 // flushes its JSONL checkpoint (resumable by resubmitting the same spec),
@@ -59,8 +73,10 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers on DefaultServeMux, served only via -pprof-listen
 	"os"
 	"os/signal"
 	"strings"
@@ -68,9 +84,37 @@ import (
 	"time"
 
 	"sprinklers/internal/cluster"
+	"sprinklers/internal/core"
 	"sprinklers/internal/resultcache"
 	"sprinklers/internal/service"
 )
+
+// newLogger builds the daemon's structured logger from the -log-level and
+// -log-format flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8356", "HTTP listen address")
@@ -93,16 +137,38 @@ func main() {
 	cacheMax := flag.Int64("cache-max-bytes", 0, "bound the result cache on disk; 0 = unbounded")
 	evictPolicy := flag.String("evict-policy", "lru", "cache eviction policy: lru, fifo, or large_first")
 	sweepInterval := flag.Duration("sweep-interval", time.Minute, "how often the cache sweeper enforces -cache-max-bytes")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+	logFormat := flag.String("log-format", "text", "log output format: text or json (one object per line)")
+	nodeName := flag.String("node", "", "node name stamped on trace spans and log lines (default: the role)")
+	traceSpans := flag.Int("trace-spans", 0, "bound the in-memory trace journal (ring; default 16384 spans, negative disables tracing)")
+	pprofListen := flag.String("pprof-listen", "", "serve net/http/pprof on this extra address (empty disables)")
+	shardStats := flag.Bool("shard-stats", false, "record per-shard busy/handoff-wait time in the parallel slot engine (served by /api/v1/perf)")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "sprinklerd: ", log.LstdFlags)
+	lg, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sprinklerd:", err)
+		os.Exit(2)
+	}
+	fatal := func(err error) {
+		lg.Error("fatal", "err", err)
+		os.Exit(1)
+	}
 	policy, err := resultcache.ParsePolicy(*evictPolicy)
 	if err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
 
 	ctx, stopTasks := context.WithCancel(context.Background())
 	defer stopTasks()
+
+	mode := "standalone"
+	switch {
+	case *coordinator || *workers != "":
+		mode = "coordinator"
+	case *join != "":
+		mode = "worker"
+	}
 
 	var coord *cluster.Coordinator
 	if *coordinator || *workers != "" {
@@ -119,10 +185,12 @@ func main() {
 			Steal:             *steal,
 			SpeculatePct:      *speculatePct,
 			SpeculateTailK:    *speculateTail,
-			Logf:              logger.Printf,
+			Logger:            lg,
 		})
 		coord.Start(ctx)
 	}
+
+	core.SetShardStats(*shardStats)
 
 	srv, err := service.New(service.Options{
 		CacheDir:         *cacheDir,
@@ -130,7 +198,10 @@ func main() {
 		PointParallelism: *parPoint,
 		JobSlots:         *jobSlots,
 		JobDelay:         *chaosJobDelay,
-		Logf:             logger.Printf,
+		Logger:           lg,
+		Node:             *nodeName,
+		Role:             mode,
+		TraceSpans:       *traceSpans,
 		Cluster:          coord,
 		CacheMaxBytes:    *cacheMax,
 		EvictPolicy:      policy,
@@ -138,7 +209,7 @@ func main() {
 		BenchDir:         *benchDir,
 	})
 	if err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
 
 	if *join != "" {
@@ -146,20 +217,28 @@ func main() {
 		if self == "" {
 			self = "http://" + *listen
 		}
-		go srv.JoinCluster(ctx, strings.TrimSuffix(*join, "/"), self, *heartbeat, logger.Printf)
+		joinLogf := func(format string, args ...any) {
+			lg.Warn(fmt.Sprintf(format, args...))
+		}
+		go srv.JoinCluster(ctx, strings.TrimSuffix(*join, "/"), self, *heartbeat, joinLogf)
+	}
+
+	if *pprofListen != "" {
+		// net/http/pprof registered its handlers on the DefaultServeMux,
+		// which nothing else serves: profiling lives on its own listener,
+		// never on the API address.
+		go func() {
+			lg.Info("pprof listening", "addr", "http://"+*pprofListen+"/debug/pprof/")
+			if err := http.ListenAndServe(*pprofListen, nil); err != nil {
+				lg.Error("pprof listener failed", "err", err)
+			}
+		}()
 	}
 
 	httpServer := &http.Server{Addr: *listen, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
-		mode := "standalone"
-		switch {
-		case coord != nil:
-			mode = "coordinator"
-		case *join != "":
-			mode = "worker"
-		}
-		logger.Printf("listening on http://%s (cache %s, %s)", *listen, *cacheDir, mode)
+		lg.Info("listening", "addr", "http://"+*listen, "cache", *cacheDir, "mode", mode)
 		errCh <- httpServer.ListenAndServe()
 	}()
 
@@ -167,11 +246,11 @@ func main() {
 	defer stop()
 	select {
 	case err := <-errCh:
-		logger.Fatal(err)
+		fatal(err)
 	case <-sigCtx.Done():
 	}
 
-	logger.Printf("shutting down: draining studies (grace %s)", *grace)
+	lg.Info("shutting down: draining studies", "grace", grace.String())
 	stopTasks() // heartbeats and cluster membership stop with the studies
 	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
@@ -180,8 +259,8 @@ func main() {
 		drainErr = err
 	}
 	if drainErr != nil {
-		logger.Printf("shutdown: %v", drainErr)
+		lg.Error("shutdown", "err", drainErr)
 		os.Exit(1)
 	}
-	logger.Printf("shutdown complete; checkpoints flushed")
+	lg.Info("shutdown complete; checkpoints flushed")
 }

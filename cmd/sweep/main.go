@@ -54,10 +54,12 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"sprinklers/internal/experiment"
 	"sprinklers/internal/registry"
 	"sprinklers/internal/service"
+	"sprinklers/internal/trace"
 )
 
 func main() {
@@ -88,6 +90,7 @@ func main() {
 	emitSpec := flag.Bool("emit-spec", false, "print the resolved spec as JSON and exit without running")
 	haltAfter := flag.Int("halt-after", 0, "stop after recording this many new points (simulates a mid-study kill; exit 3)")
 	countersOut := flag.String("counters-out", "", "write the run's work/cache counters as JSON to this file (local runs)")
+	traceOut := flag.String("trace-out", "", "write the study's trace as Chrome trace-event JSON (open in Perfetto or chrome://tracing); with -remote, fetched from the daemon")
 	switchwide := flag.Bool("switchwide", false, "bound studies: also print the switch-wide union bound")
 	list := flag.Bool("list", false, "list registered architectures and workloads with their options, then exit")
 	flag.Parse()
@@ -142,6 +145,16 @@ func main() {
 			}
 		}
 		results, runErr = client.Run(ctx, spec, progress)
+		if *traceOut != "" {
+			// The daemon traced the run; fetch the merged timeline by the
+			// study's content id (on a fresh bounded context, so a Ctrl-C'd
+			// run still exports what was recorded).
+			tctx, tstop := context.WithTimeout(context.Background(), 30*time.Second)
+			if err := fetchRemoteTrace(tctx, client, service.StudyID(spec), *traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: fetching trace: %v\n", err)
+			}
+			tstop()
+		}
 	} else {
 		cfg := experiment.StudyConfig{
 			Parallelism:      *par,
@@ -155,12 +168,30 @@ func main() {
 		if *countersOut != "" {
 			cfg.Counters = &experiment.Counters{}
 		}
-		results, runErr = experiment.RunStudy(ctx, spec, cfg)
+		var journal *trace.Journal
+		var rootSpan *trace.Active
+		runCtx := ctx
+		if *traceOut != "" {
+			// Local runs trace into an in-process journal: same spans the
+			// daemon records, exported straight to Chrome trace JSON.
+			journal = trace.NewJournal(1 << 16)
+			id := service.StudyID(spec)
+			rootSpan = trace.SpanContext{J: journal, Trace: id, Study: id, Node: "sweep"}.Start("study")
+			rootSpan.Attr("name", spec.Name)
+			runCtx = rootSpan.Context(ctx)
+		}
+		results, runErr = experiment.RunStudy(runCtx, spec, cfg)
 		if cfg.Counters != nil {
 			// Written on every outcome — the CI slot-budget comparisons read
 			// it after halted and resumed runs too.
 			if err := writeCounters(*countersOut, cfg.Counters); err != nil {
 				fatal(err)
+			}
+		}
+		if journal != nil {
+			rootSpan.End()
+			if err := writeLocalTrace(journal, *traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: writing trace: %v\n", err)
 			}
 		}
 	}
@@ -242,6 +273,40 @@ func writeSpec(w *os.File, spec experiment.Spec) error {
 	}
 	_, err = fmt.Fprintln(w, string(b))
 	return err
+}
+
+// fetchRemoteTrace downloads a study's Chrome trace JSON from the daemon.
+func fetchRemoteTrace(ctx context.Context, client *service.Client, id, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := client.TraceChrome(ctx, id, f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep: trace written to %s (load in Perfetto or chrome://tracing)\n", path)
+	return nil
+}
+
+// writeLocalTrace exports a local run's journal as Chrome trace JSON.
+func writeLocalTrace(journal *trace.Journal, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeTrace(f, journal.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep: trace written to %s (load in Perfetto or chrome://tracing)\n", path)
+	return nil
 }
 
 func fatal(err error) {

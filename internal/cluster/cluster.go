@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strings"
@@ -32,6 +33,7 @@ import (
 	"sprinklers/internal/experiment"
 	"sprinklers/internal/resultcache"
 	"sprinklers/internal/stats"
+	"sprinklers/internal/trace"
 )
 
 // Job sources, reported by workers in JobResponse.Source.
@@ -56,10 +58,13 @@ type JobRequest struct {
 }
 
 // JobResponse is a completed job: the replica's measurements and where
-// they came from.
+// they came from. Spans carries the worker-side trace spans of the job
+// when the request carried trace headers — response-only observability
+// that never feeds back into results, seeds, or cache keys.
 type JobResponse struct {
 	Point  experiment.Point `json:"point"`
 	Source string           `json:"source"`
+	Spans  []trace.Span     `json:"spans,omitempty"`
 }
 
 // PermanentError marks a dispatch failure that retrying cannot fix (the
@@ -133,8 +138,16 @@ type Options struct {
 	// Counters receives job-level accounting (required for metrics; nil
 	// allocates a private set).
 	Counters *experiment.Counters
-	// Logf, when set, receives one line per notable cluster event.
+	// Logger receives structured cluster events (worker lifecycle,
+	// re-dispatch, stealing, speculation, slow jobs). Takes precedence
+	// over Logf.
+	Logger *slog.Logger
+	// Logf, when set (and Logger is not), receives one line per notable
+	// cluster event — the printf-era hook, kept for existing callers.
 	Logf func(format string, args ...any)
+	// DispatchHist, when set, observes the latency of every successful
+	// job dispatch (send to response decode).
+	DispatchHist *stats.Histogram
 }
 
 // worker is one tracked worker daemon.
@@ -242,10 +255,11 @@ func (w *worker) queueDepth(staleAfter time.Duration) (int, bool) {
 // deaths. Create one with New, start its health loop with Start, and hang
 // RunReplica off experiment.StudyConfig.ReplicaRunner.
 type Coordinator struct {
-	opts     Options
-	httpc    *http.Client
-	counters *experiment.Counters
-	logf     func(format string, args ...any)
+	opts         Options
+	httpc        *http.Client
+	counters     *experiment.Counters
+	log          *slog.Logger
+	dispatchHist *stats.Histogram
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -255,10 +269,14 @@ type Coordinator struct {
 	active      atomic.Int64
 	specPending atomic.Int64
 
-	// specLat tracks the SpeculatePct percentile of successful dispatch
-	// latencies (nil when speculation is disabled); guarded by specMu.
-	specMu  sync.Mutex
-	specLat *stats.P2
+	// specLat tracks the latPct percentile of successful dispatch
+	// latencies. It is always on — with speculation disabled it still
+	// drives slow-job warnings — while speculate gates backup launches.
+	// Guarded by specMu.
+	specMu    sync.Mutex
+	specLat   *stats.P2
+	latPct    float64
+	speculate bool
 
 	mu      sync.Mutex
 	workers []*worker
@@ -294,20 +312,31 @@ func New(opts Options) *Coordinator {
 		seed = 1
 	}
 	c := &Coordinator{
-		opts:     opts,
-		httpc:    &http.Client{Transport: opts.Transport},
-		counters: opts.Counters,
-		logf:     opts.Logf,
-		rng:      rand.New(rand.NewSource(seed)),
+		opts:         opts,
+		httpc:        &http.Client{Transport: opts.Transport},
+		counters:     opts.Counters,
+		dispatchHist: opts.DispatchHist,
+		rng:          rand.New(rand.NewSource(seed)),
 	}
-	if opts.SpeculatePct > 0 && opts.SpeculatePct < 1 {
-		c.specLat = stats.NewP2(opts.SpeculatePct)
+	// The latency percentile is tracked whether or not speculation is
+	// armed: slow-job warnings need it on every deployment, including
+	// single-worker ones where speculation would be pointless.
+	c.speculate = opts.SpeculatePct > 0 && opts.SpeculatePct < 1
+	c.latPct = opts.SpeculatePct
+	if !c.speculate {
+		c.latPct = 0.95
 	}
+	c.specLat = stats.NewP2(c.latPct)
 	if c.counters == nil {
 		c.counters = &experiment.Counters{}
 	}
-	if c.logf == nil {
-		c.logf = func(string, ...any) {}
+	switch {
+	case opts.Logger != nil:
+		c.log = opts.Logger
+	case opts.Logf != nil:
+		c.log = trace.LogfLogger(opts.Logf)
+	default:
+		c.log = slog.New(slog.DiscardHandler)
 	}
 	for _, u := range opts.Workers {
 		c.Register(u)
@@ -321,6 +350,23 @@ func New(opts Options) *Coordinator {
 func (c *Coordinator) UseCounters(ctr *experiment.Counters) {
 	if ctr != nil {
 		c.counters = ctr
+	}
+}
+
+// UseDispatchHist points dispatch-latency observations at h — typically
+// the serving daemon's histogram, so /metrics exposes the distribution.
+// Call before the first dispatch.
+func (c *Coordinator) UseDispatchHist(h *stats.Histogram) {
+	if h != nil {
+		c.dispatchHist = h
+	}
+}
+
+// UseLogger redirects the coordinator's structured log output. Call
+// before the first dispatch.
+func (c *Coordinator) UseLogger(lg *slog.Logger) {
+	if lg != nil {
+		c.log = lg
 	}
 }
 
@@ -347,7 +393,7 @@ func (c *Coordinator) register(url string) *worker {
 	c.workers = append(c.workers, w)
 	n := len(c.workers)
 	c.mu.Unlock()
-	c.logf("cluster: worker %s registered (%d total)", url, n)
+	c.log.Info("cluster: worker registered", "worker", url, "total", n)
 	return w
 }
 
@@ -422,13 +468,13 @@ func (c *Coordinator) probeAll(ctx context.Context) {
 		cancel()
 		if err == nil {
 			if !w.isHealthy() {
-				c.logf("cluster: worker %s revived", w.url)
+				c.log.Info("cluster: worker revived", "worker", w.url)
 			}
 			w.ok()
 			continue
 		}
 		if w.fail(c.opts.SuspectAfter) {
-			c.logf("cluster: worker %s marked suspect (heartbeat: %v)", w.url, err)
+			c.log.Warn("cluster: worker marked suspect", "worker", w.url, "cause", "heartbeat", "err", err)
 		}
 	}
 }
@@ -532,6 +578,14 @@ func (c *Coordinator) backoff(ctx context.Context, attempt int) error {
 func (c *Coordinator) RunReplica(ctx context.Context, spec experiment.Spec, key experiment.PointKey, rep int) (experiment.Point, error) {
 	c.active.Add(1)
 	defer c.active.Add(-1)
+	// The dispatch span covers the job's whole coordinator-side life —
+	// every attempt, backoff, steal bounce and speculative race — and
+	// parents the worker-side spans merged from job responses.
+	dsp := trace.FromContext(ctx).Start("dispatch")
+	dsp.SetJob(key.String(), rep)
+	defer dsp.End()
+	ctx = dsp.Context(ctx)
+	tc := trace.FromContext(ctx)
 	var last *worker
 	shed := false
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
@@ -549,7 +603,9 @@ func (c *Coordinator) RunReplica(ctx context.Context, spec experiment.Spec, key 
 				// backoff only gates retries against the same (suspect)
 				// path, where hammering would make things worse.
 				c.counters.JobsRedispatched.Add(1)
-				c.logf("cluster: job %s rep %d re-dispatched %s -> %s", key, rep, last.url, w.url)
+				c.log.Info("cluster: job re-dispatched",
+					"job", key.String(), "rep", rep, "from", last.url, "to", w.url, "trace", tc.Trace)
+				tc.Event("redispatch", "job", key.String(), "from", last.url, "to", w.url)
 			} else if err := c.backoff(ctx, attempt); err != nil {
 				return experiment.Point{}, err
 			}
@@ -562,6 +618,8 @@ func (c *Coordinator) RunReplica(ctx context.Context, spec experiment.Spec, key 
 			if src == SourcePeer {
 				c.counters.PeerCacheFills.Add(1)
 			}
+			dsp.Attr("worker", winner.url)
+			dsp.Attr("source", src)
 			return p, nil
 		}
 		var perm *PermanentError
@@ -576,25 +634,38 @@ func (c *Coordinator) RunReplica(ctx context.Context, spec experiment.Spec, key 
 			// an idle peer can take it: re-pick immediately with no failure
 			// mark, no retry accounting, no backoff.
 			c.counters.JobsStolen.Add(1)
-			c.logf("cluster: job %s rep %d stolen from %s (queue shed)", key, rep, w.url)
+			c.log.Info("cluster: job stolen (queue shed)",
+				"job", key.String(), "rep", rep, "worker", w.url, "trace", tc.Trace)
+			tc.Event("steal", "job", key.String(), "worker", w.url)
 			shed = true
 			last = w
 			continue
 		}
 		if w.fail(c.opts.SuspectAfter) {
-			c.logf("cluster: worker %s marked suspect (dispatch: %v)", w.url, err)
+			c.log.Warn("cluster: worker marked suspect", "worker", w.url, "cause", "dispatch", "err", err)
 		}
 		last = w
 	}
 	// Degraded mode: the fleet is gone (or spent its retry budget) — the
 	// study must still finish, so the replica runs in-process.
 	c.counters.LocalFallbacks.Add(1)
+	tc.Event("local-fallback", "job", key.String())
+	dsp.Attr("source", "local-fallback")
 	return experiment.RunReplicaJob(ctx, spec, key, rep, c.opts.PointParallelism, c.counters, nil)
 }
 
 // dispatch POSTs one job to a worker under the lease and decodes the
-// result. Errors are transient unless wrapped in PermanentError.
+// result. Errors are transient unless wrapped in PermanentError. When
+// ctx carries trace context, a lease span wraps the attempt, its ID
+// travels in the X-Sprinklerd-Span header so worker-side spans parent
+// under it, and the spans the worker attached to the response are
+// merged into the coordinator's journal.
 func (c *Coordinator) dispatch(ctx context.Context, w *worker, spec experiment.Spec, key experiment.PointKey, rep int) (experiment.Point, string, error) {
+	tc := trace.FromContext(ctx)
+	lsp := tc.Start("lease")
+	lsp.SetJob(key.String(), rep)
+	lsp.Attr("worker", w.url)
+	defer lsp.End()
 	jctx, cancel := context.WithTimeout(ctx, c.opts.Lease)
 	defer cancel()
 	body, err := json.Marshal(JobRequest{
@@ -612,6 +683,7 @@ func (c *Coordinator) dispatch(ctx context.Context, w *worker, spec experiment.S
 		return experiment.Point{}, "", &PermanentError{err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	trace.Inject(req.Header, lsp.SpanContext())
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return experiment.Point{}, "", err
@@ -632,6 +704,14 @@ func (c *Coordinator) dispatch(ctx context.Context, w *worker, spec experiment.S
 	var jr JobResponse
 	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
 		return experiment.Point{}, "", fmt.Errorf("cluster: %s: decoding job response: %w", w.url, err)
+	}
+	if tc.Enabled() {
+		for _, sp := range jr.Spans {
+			// Stamp the coordinator's study onto adopted worker spans so
+			// the study filter sees one merged timeline.
+			sp.Study = tc.Study
+			tc.J.Record(sp)
+		}
 	}
 	return jr.Point, jr.Source, nil
 }

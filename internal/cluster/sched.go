@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"sprinklers/internal/experiment"
+	"sprinklers/internal/trace"
 )
 
 // LoadReport is the load a worker pushes with its heartbeats: jobs waiting
@@ -117,11 +118,12 @@ func (c *Coordinator) maybeSteal(thief *worker) {
 		defer cancel()
 		shed, err := c.shed(ctx, victim.url, n)
 		if err != nil {
-			c.logf("cluster: steal from %s for %s failed: %v", victim.url, thief.url, err)
+			c.log.Warn("cluster: steal failed", "victim", victim.url, "thief", thief.url, "err", err)
 			return
 		}
 		if shed > 0 {
-			c.logf("cluster: %s idle: %d queued job(s) shed from %s", thief.url, shed, victim.url)
+			c.log.Info("cluster: queued jobs shed to idle worker",
+				"thief", thief.url, "victim", victim.url, "shed", shed)
 		}
 	}()
 }
@@ -157,13 +159,11 @@ func (c *Coordinator) shed(ctx context.Context, url string, n int) (int, error) 
 	return out.Shed, nil
 }
 
-// observeLatency feeds one successful dispatch latency into the speculation
-// percentile estimator.
+// observeLatency feeds one successful dispatch latency into the
+// percentile estimator behind speculation and slow-job warnings.
 func (c *Coordinator) observeLatency(d time.Duration) {
 	c.specMu.Lock()
-	if c.specLat != nil {
-		c.specLat.Add(float64(d))
-	}
+	c.specLat.Add(float64(d))
 	c.specMu.Unlock()
 }
 
@@ -176,12 +176,13 @@ const (
 	speculateFloor      = 5 * time.Millisecond
 )
 
-// speculateThreshold returns how long a dispatch may run before a backup
-// launches, or 0 while speculation is disabled or under-sampled.
+// speculateThreshold returns how long a dispatch may run before it
+// counts as slow (warning + backup launch), or 0 while the percentile
+// is under-sampled.
 func (c *Coordinator) speculateThreshold() time.Duration {
 	c.specMu.Lock()
 	defer c.specMu.Unlock()
-	if c.specLat == nil || c.specLat.Count() < speculateMinSamples {
+	if c.specLat.Count() < speculateMinSamples {
 		return 0
 	}
 	d := time.Duration(c.specLat.Value())
@@ -192,11 +193,16 @@ func (c *Coordinator) speculateThreshold() time.Duration {
 }
 
 // send runs one dispatch with the coordinator's outstanding-load accounting
-// around it.
+// around it, observing the latency of successful attempts.
 func (c *Coordinator) send(ctx context.Context, w *worker, spec experiment.Spec, key experiment.PointKey, rep int) (experiment.Point, string, error) {
 	w.addOutstanding(1)
 	defer w.addOutstanding(-1)
-	return c.dispatch(ctx, w, spec, key, rep)
+	start := time.Now()
+	p, src, err := c.dispatch(ctx, w, spec, key, rep)
+	if err == nil {
+		c.dispatchHist.Observe(time.Since(start))
+	}
+	return p, src, err
 }
 
 // specResult is one branch of a speculative race.
@@ -217,10 +223,6 @@ type specResult struct {
 // SpeculativeWasted. The returned worker is the one that produced the
 // result (for health credit).
 func (c *Coordinator) dispatchSpeculate(ctx context.Context, w *worker, spec experiment.Spec, key experiment.PointKey, rep int) (experiment.Point, string, *worker, error) {
-	if c.specLat == nil {
-		p, src, err := c.send(ctx, w, spec, key, rep)
-		return p, src, w, err
-	}
 	start := time.Now()
 	ch := make(chan specResult, 2)
 	go func() {
@@ -229,6 +231,7 @@ func (c *Coordinator) dispatchSpeculate(ctx context.Context, w *worker, spec exp
 	}()
 	inflight := 1
 	backup := false
+	warned := false
 	// Poll instead of arming one timer at the entry threshold: the
 	// percentile may only become available (or move) while this dispatch is
 	// already stuck behind a straggler.
@@ -259,24 +262,38 @@ func (c *Coordinator) dispatchSpeculate(ctx context.Context, w *worker, spec exp
 			}
 			// The other branch is still running; wait for it.
 		case <-timer.C:
-			if !backup {
-				if th := c.speculateThreshold(); th > 0 && time.Since(start) >= th &&
-					c.active.Load() <= int64(c.opts.SpeculateTailK) {
+			if th := c.speculateThreshold(); th > 0 && time.Since(start) >= th {
+				// The straggler warning fires regardless of speculation:
+				// on a single-worker deployment it is the only signal a
+				// job is stuck behind the fleet's own latency history.
+				if !warned {
+					warned = true
+					tc := trace.FromContext(ctx)
+					c.log.Warn("cluster: job outstanding past dispatch-latency percentile",
+						"job", key.String(), "rep", rep, "worker", w.url,
+						"elapsed_ms", time.Since(start).Milliseconds(),
+						"threshold_ms", th.Milliseconds(),
+						"pct", c.latPct, "trace", tc.Trace)
+					tc.Event("slow-job", "job", key.String(), "worker", w.url)
+				}
+				if c.speculate && !backup && c.active.Load() <= int64(c.opts.SpeculateTailK) {
 					if bw := c.pick(w); bw != nil && bw != w {
 						backup = true
 						inflight++
 						c.counters.SpeculativeLaunched.Add(1)
 						c.counters.JobsDispatched.Add(1)
-						c.logf("cluster: speculative backup for job %s rep %d on %s (primary %s past p%.0f)",
-							key, rep, bw.url, w.url, 100*c.opts.SpeculatePct)
+						c.log.Info("cluster: speculative backup launched",
+							"job", key.String(), "rep", rep, "backup", bw.url, "primary", w.url,
+							"pct", c.latPct, "trace", trace.FromContext(ctx).Trace)
+						trace.FromContext(ctx).Event("speculate", "job", key.String(), "backup", bw.url, "primary", w.url)
 						go func() {
 							p, src, err := c.send(ctx, bw, spec, key, rep)
 							ch <- specResult{p, src, err, bw}
 						}()
 					}
 				}
-				timer.Reset(poll)
 			}
+			timer.Reset(poll)
 		case <-ctx.Done():
 			// The study is gone; the in-flight sends abort with it (the
 			// channel is buffered, so they never leak).

@@ -243,7 +243,13 @@ func (s *Switch) replay(t sim.Slot, deliver sim.DeliverFunc) {
 // worker is the shard-w goroutine: it owns mid shard w and input range w
 // and executes the phase each command names. A lockstep-assertion panic
 // inside a worker crashes the process like its sequential counterpart.
+// With shard stats enabled (checked once, here, so the disabled hot
+// path is untouched) the instrumented twin runs instead.
 func (s *Switch) worker(w int) {
+	if shardStatsEnabled.Load() {
+		s.workerTimed(w)
+		return
+	}
 	for cmd := range s.par.cmd[w] {
 		switch cmd {
 		case cmdSlot:

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Per-shard busy / handoff-wait accounting for the parallel slot
+// engine. When enabled, each shard worker accumulates the nanoseconds
+// it spent executing phases (busy) versus blocked waiting for its next
+// phase command (handoff wait — barrier idle time while other shards
+// finish), and flushes both into package-level counters when it parks.
+// The ratio exposes shard imbalance: a shard whose busy share dwarfs
+// the others is the straggler serializing every barrier.
+//
+// The guard is zero-overhead by construction: the enable flag is
+// checked once when a worker goroutine starts, and a disabled worker
+// runs the original untimed loop with no time.Now calls and no atomic
+// traffic on the slot hot path. Toggling therefore takes effect the
+// next time workers start (SetParallelism after StopWorkers — in the
+// study path that is every replica, since sim.Run stops workers when a
+// run finishes).
+var (
+	shardStatsEnabled atomic.Bool
+	shardStatsHi      atomic.Int32 // high-water shard index + 1
+)
+
+// shardStatsMax bounds the tracked shard count; parallelism beyond it
+// folds into the last slot (current engines run far below this).
+const shardStatsMax = 64
+
+var (
+	shardBusyNs [shardStatsMax]atomic.Int64
+	shardWaitNs [shardStatsMax]atomic.Int64
+)
+
+// SetShardStats enables or disables per-shard timing for workers
+// started after the call.
+func SetShardStats(on bool) { shardStatsEnabled.Store(on) }
+
+// ShardStatsOn reports whether newly started workers will record
+// per-shard timing.
+func ShardStatsOn() bool { return shardStatsEnabled.Load() }
+
+// ShardStat is one shard's accumulated timing.
+type ShardStat struct {
+	Shard         int   `json:"shard"`
+	BusyNs        int64 `json:"busy_ns"`
+	HandoffWaitNs int64 `json:"handoff_wait_ns"`
+}
+
+// ShardStats returns the accumulated per-shard timings (flushed when
+// workers park), lowest shard first. Empty when nothing was recorded.
+func ShardStats() []ShardStat {
+	hi := int(shardStatsHi.Load())
+	if hi > shardStatsMax {
+		hi = shardStatsMax
+	}
+	out := make([]ShardStat, 0, hi)
+	for i := 0; i < hi; i++ {
+		out = append(out, ShardStat{
+			Shard:         i,
+			BusyNs:        shardBusyNs[i].Load(),
+			HandoffWaitNs: shardWaitNs[i].Load(),
+		})
+	}
+	return out
+}
+
+// ResetShardStats zeroes the accumulated timings.
+func ResetShardStats() {
+	for i := range shardBusyNs {
+		shardBusyNs[i].Store(0)
+		shardWaitNs[i].Store(0)
+	}
+	shardStatsHi.Store(0)
+}
+
+// flushShardStats folds one worker's accumulated timings into the
+// package counters.
+func flushShardStats(w int, busy, wait int64) {
+	slot := w
+	if slot >= shardStatsMax {
+		slot = shardStatsMax - 1
+	}
+	shardBusyNs[slot].Add(busy)
+	shardWaitNs[slot].Add(wait)
+	for {
+		hi := shardStatsHi.Load()
+		if int32(slot+1) <= hi || shardStatsHi.CompareAndSwap(hi, int32(slot+1)) {
+			return
+		}
+	}
+}
+
+// workerTimed is the instrumented twin of Switch.worker: identical
+// phase execution, plus wall-clock split between command wait and phase
+// work. It exists as a separate loop so the untimed path stays free of
+// timing calls.
+func (s *Switch) workerTimed(w int) {
+	var busy, wait int64
+	for {
+		t0 := time.Now()
+		cmd := <-s.par.cmd[w]
+		wait += time.Since(t0).Nanoseconds()
+		t0 = time.Now()
+		switch cmd {
+		case cmdSlot:
+			s.workerPops(w)
+			s.workerArrivals(w)
+			s.workerServes(w)
+		case cmdPopArrive:
+			s.workerPops(w)
+			s.workerArrivals(w)
+		case cmdServe:
+			s.workerServes(w)
+		case cmdDrain:
+			s.workerDrain(w)
+		case cmdQuit:
+			flushShardStats(w, busy, wait)
+			s.par.done <- struct{}{}
+			return
+		}
+		busy += time.Since(t0).Nanoseconds()
+		s.par.done <- struct{}{}
+	}
+}

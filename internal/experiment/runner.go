@@ -13,6 +13,7 @@ import (
 	"sprinklers/internal/resultcache"
 	"sprinklers/internal/sim"
 	"sprinklers/internal/stats"
+	"sprinklers/internal/trace"
 )
 
 // PointResult is the aggregate of every replica run at one grid point: the
@@ -185,7 +186,12 @@ func runReplica(ctx context.Context, spec Spec, fp uint64, key PointKey, rep, pa
 	// applies it again) so the slot accounting below reads the exact
 	// warmup the simulation runs with rather than re-deriving the policy.
 	cfg = cfg.withDefaults()
+	// The simulate span wraps only the slot loop; seeds and cache keys
+	// were fixed before tracing existed and stay independent of it.
+	sp := trace.FromContext(ctx).Start("simulate")
+	sp.SetJob(key.String(), rep)
 	p, err := RunPoint(alg.Name, cfg, key.Load)
+	sp.End()
 	if err == nil && ctr != nil {
 		ctr.ReplicasComputed.Add(1)
 		ctr.SlotsSimulated.Add(int64(cfg.Slots + cfg.Warmup))
@@ -391,16 +397,20 @@ func RunStudy(ctx context.Context, spec Spec, cfg StudyConfig) ([]PointResult, e
 	// before scheduling any work. Hits skip simulation entirely; a fully
 	// cached resubmission never starts the worker pool.
 	cached := make([]bool, total)
+	tc := trace.FromContext(ctx)
 	if cfg.Cache != nil && spec.Kind == SimStudy {
+		psp := tc.Start("cache-prepass")
 		for pi := start; pi < total; pi++ {
 			b, ok, err := cfg.Cache.Get(ids[pi].Key())
 			if err != nil {
+				psp.End()
 				return nil, fmt.Errorf("experiment: result cache: %w", err)
 			}
 			if ok {
 				if rec, valid := decodeCachedPoint(b, ids[pi], keys[pi]); valid {
 					ready[pi] = rec
 					cached[pi] = true
+					tc.Event("cache-hit", "job", keys[pi].String())
 					if cfg.Counters != nil {
 						cfg.Counters.CacheHits.Add(1)
 					}
@@ -412,6 +422,7 @@ func RunStudy(ctx context.Context, spec Spec, cfg StudyConfig) ([]PointResult, e
 				// recompute the point.
 				if q, canQuarantine := cfg.Cache.(Quarantiner); canQuarantine {
 					if qerr := q.Quarantine(ids[pi].Key()); qerr != nil {
+						psp.End()
 						return nil, fmt.Errorf("experiment: quarantining corrupt cache entry: %w", qerr)
 					}
 				}
@@ -423,6 +434,7 @@ func RunStudy(ctx context.Context, spec Spec, cfg StudyConfig) ([]PointResult, e
 				cfg.Counters.CacheMisses.Add(1)
 			}
 		}
+		psp.End()
 	}
 	if halted, err := record(); err != nil {
 		return nil, err
@@ -537,11 +549,16 @@ func RunStudy(ctx context.Context, spec Spec, cfg StudyConfig) ([]PointResult, e
 			rec := aggregate(keys[ro.pi], ps)
 			delete(pending, ro.pi)
 			delete(counts, ro.pi)
+			tc.Event("aggregate", "job", keys[ro.pi].String())
 			if cfg.Counters != nil {
 				cfg.Counters.PointsComputed.Add(1)
 			}
 			if cfg.Cache != nil {
-				if err := cfg.Cache.Put(ids[ro.pi].Key(), encodeCachedPoint(ids[ro.pi], rec)); err != nil {
+				csp := tc.Start("cas-store")
+				csp.SetJob(keys[ro.pi].String(), -1)
+				err := cfg.Cache.Put(ids[ro.pi].Key(), encodeCachedPoint(ids[ro.pi], rec))
+				csp.End()
+				if err != nil {
 					runErr = fmt.Errorf("experiment: result cache: %w", err)
 					break
 				}

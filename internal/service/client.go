@@ -110,6 +110,34 @@ func (c *Client) Submit(ctx context.Context, spec experiment.Spec) (StudyStatus,
 	return status, nil
 }
 
+// Trace fetches one study's merged trace timeline.
+func (c *Client) Trace(ctx context.Context, id string) (TraceResponse, error) {
+	var out TraceResponse
+	err := c.getJSON(ctx, "/api/v1/trace/"+id, &out)
+	return out, err
+}
+
+// TraceChrome streams one study's trace as Chrome trace-event JSON
+// (Perfetto / chrome://tracing format) into w.
+func (c *Client) TraceChrome(ctx context.Context, id string, w io.Writer) error {
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.url("/api/v1/trace/"+id+"?format=chrome"), nil)
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// Version fetches the daemon's build and runtime identity.
+func (c *Client) Version(ctx context.Context) (VersionInfo, error) {
+	var out VersionInfo
+	err := c.getJSON(ctx, "/api/v1/version", &out)
+	return out, err
+}
+
 // Status fetches one study's status.
 func (c *Client) Status(ctx context.Context, id string) (StudyStatus, error) {
 	var out struct {

@@ -15,7 +15,12 @@ import (
 // The HTTP surface. All bodies are JSON unless noted.
 //
 //	GET  /healthz                       liveness probe ("ok")
-//	GET  /metrics                       Prometheus-style text counters
+//	GET  /metrics                       Prometheus-style text counters and
+//	                                    latency histograms
+//	GET  /api/v1/version                build/runtime identity (go version,
+//	                                    VCS revision, role, node)
+//	GET  /api/v1/trace/{study}          merged trace timeline for one study
+//	                                    (?format=chrome for Perfetto JSON)
 //	GET  /api/v1/perf                   daemon-wide work/cache counters,
 //	                                    per-study counters, and the committed
 //	                                    BENCH_*.json snapshots on disk
@@ -41,6 +46,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /api/v1/perf", s.handlePerf)
+	mux.HandleFunc("GET /api/v1/version", s.handleVersion)
+	mux.HandleFunc("GET /api/v1/trace/{study}", s.handleTrace)
 	mux.HandleFunc("GET /api/v1/catalog", s.handleCatalog)
 	mux.HandleFunc("POST /api/v1/studies", s.handleSubmit)
 	mux.HandleFunc("GET /api/v1/studies", s.handleList)
@@ -240,7 +247,7 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		s.logf("study %s: render %s: %v", st.id, format, err)
+		s.log.Warn("render failed", "study", st.id, "format", format, "err", err)
 	}
 }
 

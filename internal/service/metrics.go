@@ -77,4 +77,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		gauge("sprinklerd_cluster_degraded", "1 while every worker is down and studies run on local fallback.", degraded)
 	}
+
+	// Latency histograms (log2 buckets, exposed as cumulative le-labeled
+	// series like any client-library histogram).
+	s.hDispatch.WriteProm(w)
+	s.hJobExec.WriteProm(w)
+	s.hQueueWait.WriteProm(w)
+	s.hCacheGet.WriteProm(w)
+	s.hCachePut.WriteProm(w)
+
+	// Trace journal health: retained window size and how much has been
+	// overwritten (a truncated old study's timeline is expected once
+	// dropped > 0).
+	gauge("sprinklerd_trace_spans", "Trace spans currently retained in the ring journal.", int64(s.journal.Len()))
+	counter("sprinklerd_trace_spans_dropped_total", "Trace spans overwritten by the bounded ring journal.", s.journal.Dropped())
+
+	// Build identity as a constant labeled gauge, the node_exporter idiom.
+	v := s.Version()
+	fmt.Fprintf(w, "# HELP sprinklerd_build_info Build and runtime identity of this daemon (constant 1).\n# TYPE sprinklerd_build_info gauge\n")
+	fmt.Fprintf(w, "sprinklerd_build_info{go_version=%q,revision=%q,modified=%q,role=%q,node=%q} 1\n",
+		v.GoVersion, v.Revision, fmt.Sprint(v.Modified), v.Role, v.Node)
 }

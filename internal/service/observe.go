@@ -1,0 +1,120 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sort"
+
+	"sprinklers/internal/trace"
+)
+
+// The observability read surface: one coherent trace timeline per study
+// and the daemon's build identity. Both are serve-only — nothing here
+// touches study execution, result identity, or the job wire format.
+
+// TraceResponse is the wire form of GET /api/v1/trace/{study}: every
+// retained span of the study, oldest-first, merged across the
+// coordinator and the workers that executed its jobs.
+type TraceResponse struct {
+	Study string       `json:"study"`
+	Spans []trace.Span `json:"spans"`
+	// Nodes lists the distinct node names the spans came from.
+	Nodes []string `json:"nodes"`
+	// Dropped is how many spans this daemon's ring journal has
+	// overwritten since start (across all studies): when nonzero, old
+	// timelines may be truncated.
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+// handleTrace serves the merged trace timeline of one study, as JSON
+// spans or (?format=chrome) as Chrome trace-event JSON loadable in
+// Perfetto / chrome://tracing.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("study")
+	if s.journal == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("tracing is disabled on this daemon"))
+		return
+	}
+	spans := s.journal.Study(id)
+	if len(spans) == 0 {
+		if _, ok := s.lookup(id); !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no trace for study %q", id))
+			return
+		}
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := trace.WriteChromeTrace(w, spans); err != nil {
+			s.log.Warn("writing chrome trace failed", "study", id, "err", err)
+		}
+		return
+	}
+	nodes := map[string]bool{}
+	for _, sp := range spans {
+		if sp.Node != "" {
+			nodes[sp.Node] = true
+		}
+	}
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, TraceResponse{
+		Study:   id,
+		Spans:   spans,
+		Nodes:   names,
+		Dropped: s.journal.Dropped(),
+	})
+}
+
+// VersionInfo is the wire form of GET /api/v1/version: enough to tell
+// which build answered, on which node, in which role.
+type VersionInfo struct {
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	BuildTime string `json:"build_time,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+	Node      string `json:"node"`
+	Role      string `json:"role,omitempty"`
+}
+
+// buildVCS extracts the VCS stamp from the embedded build info; all
+// fields are empty for builds without VCS metadata (go test binaries,
+// bazel-style builds).
+func buildVCS() (revision, buildTime string, modified bool) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", "", false
+	}
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			revision = kv.Value
+		case "vcs.time":
+			buildTime = kv.Value
+		case "vcs.modified":
+			modified = kv.Value == "true"
+		}
+	}
+	return revision, buildTime, modified
+}
+
+// Version reports this daemon's build and runtime identity.
+func (s *Server) Version() VersionInfo {
+	rev, bt, mod := buildVCS()
+	return VersionInfo{
+		GoVersion: runtime.Version(),
+		Revision:  rev,
+		BuildTime: bt,
+		Modified:  mod,
+		Node:      s.node,
+		Role:      s.role,
+	}
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Version())
+}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"sprinklers/internal/core"
 	"sprinklers/internal/experiment"
 )
 
@@ -35,15 +36,20 @@ type PerfResponse struct {
 	Counters experiment.CounterSnapshot `json:"counters"`
 	Studies  []PerfStudy                `json:"studies"`
 	Bench    []PerfBench                `json:"bench"`
+	// ShardStats reports per-shard busy and handoff-wait nanoseconds from
+	// the parallel slot engine; present only when -shard-stats profiling
+	// is enabled (zero overhead otherwise).
+	ShardStats []core.ShardStat `json:"shard_stats,omitempty"`
 }
 
 // Perf assembles the perf view: daemon-wide counters, every known study
 // with its private counters, and the BENCH_*.json snapshots on disk.
 func (s *Server) Perf() PerfResponse {
 	resp := PerfResponse{
-		Counters: s.TotalCounters(),
-		Studies:  []PerfStudy{},
-		Bench:    []PerfBench{},
+		Counters:   s.TotalCounters(),
+		Studies:    []PerfStudy{},
+		Bench:      []PerfBench{},
+		ShardStats: core.ShardStats(),
 	}
 
 	s.mu.Lock()
@@ -61,7 +67,7 @@ func (s *Server) Perf() PerfResponse {
 	for _, f := range files {
 		raw, err := os.ReadFile(f)
 		if err != nil || !json.Valid(raw) {
-			s.logf("perf: skipping snapshot %s: unreadable or invalid JSON", f)
+			s.log.Warn("perf: skipping snapshot", "file", f, "reason", "unreadable or invalid JSON")
 			continue
 		}
 		resp.Bench = append(resp.Bench, PerfBench{File: filepath.Base(f), Snapshot: raw})

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -32,6 +33,8 @@ import (
 	"sprinklers/internal/experiment"
 	"sprinklers/internal/faultinject"
 	"sprinklers/internal/resultcache"
+	"sprinklers/internal/stats"
+	"sprinklers/internal/trace"
 )
 
 // State is a study's lifecycle state.
@@ -92,8 +95,24 @@ type Options struct {
 	// simulating — a deterministic chaos knob that turns this daemon into a
 	// straggler for scheduler tests (`sprinklerd -chaos-job-delay`).
 	JobDelay time.Duration
-	// Logf, when set, receives one line per notable server event.
+	// Logf, when set, receives one line per notable server event. Superseded
+	// by Logger when both are set; kept so older embedders and tests keep
+	// their plain-text lines.
 	Logf func(format string, args ...any)
+	// Logger, when set, receives structured events (study/job/worker ids as
+	// attributes). Precedence: Logger, then Logf (wrapped), then discard.
+	Logger *slog.Logger
+	// Node names this daemon in trace spans and log lines so merged
+	// cluster timelines attribute work to the right process; empty defaults
+	// to Role, then "sprinklerd".
+	Node string
+	// Role is the daemon's configured role string ("coordinator", "worker",
+	// "standalone", ...) surfaced by /api/v1/version and build_info.
+	Role string
+	// TraceSpans bounds the in-memory trace journal (a ring: the oldest
+	// spans are overwritten, never blocking the hot path). 0 means the
+	// default 16384; negative disables tracing entirely.
+	TraceSpans int
 
 	// Cluster, when set, makes this daemon a coordinator: every study's
 	// replica jobs are dispatched to the cluster's workers (with this
@@ -130,7 +149,22 @@ type Server struct {
 	cache    *resultcache.Store
 	par      int
 	pointPar int
-	logf     func(format string, args ...any)
+	log      *slog.Logger
+	node     string
+	role     string
+
+	// journal is the bounded ring of trace spans behind /api/v1/trace;
+	// nil when tracing is disabled (every producer is nil-safe).
+	journal *trace.Journal
+
+	// Latency histograms exposed on /metrics (log2 buckets, Prometheus
+	// text exposition). hDispatch is fed by the cluster coordinator;
+	// the rest by this daemon's own study and job paths.
+	hDispatch  *stats.Histogram
+	hJobExec   *stats.Histogram
+	hQueueWait *stats.Histogram
+	hCacheGet  *stats.Histogram
+	hCachePut  *stats.Histogram
 
 	cluster     *cluster.Coordinator
 	fault       *faultinject.Plan
@@ -195,11 +229,29 @@ func New(opts Options) (*Server, error) {
 	if slots <= 0 {
 		slots = runtime.GOMAXPROCS(0)
 	}
+	node := opts.Node
+	if node == "" {
+		node = opts.Role
+	}
+	if node == "" {
+		node = "sprinklerd"
+	}
+	spans := opts.TraceSpans
+	if spans == 0 {
+		spans = 16384
+	}
 	s := &Server{
 		cache:       store,
 		par:         opts.Parallelism,
 		pointPar:    opts.PointParallelism,
-		logf:        opts.Logf,
+		node:        node,
+		role:        opts.Role,
+		journal:     trace.NewJournal(spans),
+		hDispatch:   stats.NewHistogram("sprinklerd_dispatch_latency_seconds", "Latency of successful cluster job dispatches (lease to decoded response)."),
+		hJobExec:    stats.NewHistogram("sprinklerd_job_exec_seconds", "Wall time of replica simulations executed for cluster jobs."),
+		hQueueWait:  stats.NewHistogram("sprinklerd_job_queue_wait_seconds", "Time cluster jobs wait for an execution slot before simulating."),
+		hCacheGet:   stats.NewHistogram("sprinklerd_cache_get_seconds", "Latency of result-cache reads on the study and job paths."),
+		hCachePut:   stats.NewHistogram("sprinklerd_cache_put_seconds", "Latency of result-cache writes (CAS stores)."),
 		cluster:     opts.Cluster,
 		fault:       opts.Fault,
 		peerHTTP:    opts.PeerHTTP,
@@ -212,9 +264,15 @@ func New(opts Options) (*Server, error) {
 		baseCancel:  cancel,
 		studies:     map[string]*study{},
 	}
-	if s.logf == nil {
-		s.logf = func(string, ...any) {}
+	switch {
+	case opts.Logger != nil:
+		s.log = opts.Logger
+	case opts.Logf != nil:
+		s.log = trace.LogfLogger(opts.Logf)
+	default:
+		s.log = slog.New(slog.DiscardHandler)
 	}
+	s.log = s.log.With("node", node)
 	if s.evictPolicy == "" {
 		s.evictPolicy = resultcache.LRU
 	}
@@ -223,13 +281,16 @@ func New(opts Options) (*Server, error) {
 	}
 	if s.cluster != nil {
 		// The coordinator's dispatch/retry/fallback accounting lands on the
-		// daemon's lifetime counters, so /metrics tells the whole story.
+		// daemon's lifetime counters and histograms, so /metrics tells the
+		// whole story; its log lines carry the same node attribute.
 		s.cluster.UseCounters(&s.counters)
+		s.cluster.UseDispatchHist(s.hDispatch)
+		s.cluster.UseLogger(s.log)
 	}
 	if opts.CacheMaxBytes > 0 {
 		s.stopSweeper = store.StartSweeper(opts.SweepInterval, s.evictPolicy, opts.CacheMaxBytes,
-			func(err error) { s.logf("cache sweep: %v", err) })
-		s.logf("cache bound: %d bytes, policy %s", opts.CacheMaxBytes, s.evictPolicy)
+			func(err error) { s.log.Warn("cache sweep failed", "err", err) })
+		s.log.Info("cache bound armed", "max_bytes", opts.CacheMaxBytes, "policy", string(s.evictPolicy))
 	}
 	return s, nil
 }
@@ -320,12 +381,24 @@ func (s *Server) Submit(spec experiment.Spec) (StudyStatus, error) {
 	s.mu.Unlock()
 
 	s.submitted.Add(1)
-	s.logf("study %s (%s): submitted, %d points", id, norm.Name, norm.NumPoints())
+	s.log.Info("study submitted", "study", id, "name", norm.Name, "points", norm.NumPoints())
+	s.traceCtx(id).Event("submit", "points", fmt.Sprint(norm.NumPoints()))
 	go s.run(ctx, st)
 
 	status := st.Status()
 	status.Created = true
 	return status, nil
+}
+
+// traceCtx returns the server's trace context for one study: record into
+// the daemon journal, trace id == study id, spans attributed to this
+// node. Disabled (zero value) when the journal is off, so no typed-nil
+// Recorder ever reports Enabled.
+func (s *Server) traceCtx(study string) trace.SpanContext {
+	if s.journal == nil {
+		return trace.SpanContext{}
+	}
+	return trace.SpanContext{J: s.journal, Trace: study, Study: study, Node: s.node}
 }
 
 // run executes one study to a terminal state. The per-study JSONL
@@ -340,7 +413,7 @@ func (s *Server) run(ctx context.Context, st *study) {
 	cfg := experiment.StudyConfig{
 		Parallelism:      s.par,
 		PointParallelism: s.pointPar,
-		Cache:            s.cache,
+		Cache:            timedCache{s.cache, s.hCacheGet, s.hCachePut},
 		Counters:         &st.counters,
 		ResultsPath:      ckpt,
 		Progress: func(done, total int, r experiment.PointResult) {
@@ -354,15 +427,22 @@ func (s *Server) run(ctx context.Context, st *study) {
 		// checkpointing, and aggregation are untouched — which is exactly
 		// why a cluster run is byte-identical to a single-node run.
 		cfg.ReplicaRunner = s.cluster.RunReplica
-		cfg.Cache = s.cluster.WrapCache(s.cache)
+		cfg.Cache = timedCache{s.cluster.WrapCache(s.cache), s.hCacheGet, s.hCachePut}
 	}
+	// The study root span: every dispatch, simulation and store of this
+	// run parents back to it, across nodes.
+	sp := s.traceCtx(st.id).Start("study")
+	sp.Attr("name", st.spec.Name)
+	ctx = sp.Context(ctx)
 	results, err := experiment.RunStudy(ctx, st.spec, cfg)
+	sp.End()
 	st.finish(results, err)
 	status := st.Status()
 	if status.State == StateDone {
 		os.Remove(ckpt) //nolint:errcheck // redundant with the cache once done
 	}
-	s.logf("study %s: %s (%d/%d points)", st.id, status.State, status.Done, status.Total)
+	s.log.Info("study finished", "study", st.id, "state", string(status.State),
+		"done", status.Done, "total", status.Total)
 }
 
 // evictTerminalLocked drops the oldest terminal studies once more than
@@ -605,4 +685,33 @@ func (st *study) Wait(ctx context.Context) State {
 			return state
 		}
 	}
+}
+
+// timedCache wraps a PointCache so every read and write lands in the
+// daemon's cache latency histograms. Pass-through otherwise, including
+// the optional quarantine capability of the wrapped store.
+type timedCache struct {
+	inner    experiment.PointCache
+	get, put *stats.Histogram
+}
+
+func (t timedCache) Get(key string) ([]byte, bool, error) {
+	start := time.Now()
+	b, ok, err := t.inner.Get(key)
+	t.get.Observe(time.Since(start))
+	return b, ok, err
+}
+
+func (t timedCache) Put(key string, val []byte) error {
+	start := time.Now()
+	err := t.inner.Put(key, val)
+	t.put.Observe(time.Since(start))
+	return err
+}
+
+func (t timedCache) Quarantine(key string) error {
+	if q, ok := t.inner.(experiment.Quarantiner); ok {
+		return q.Quarantine(key)
+	}
+	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"sprinklers/internal/experiment"
 	"sprinklers/internal/faultinject"
 	"sprinklers/internal/sim"
+	"sprinklers/internal/trace"
 )
 
 // The cluster wire surface. A worker daemon serves /api/v1/jobs and
@@ -72,10 +73,39 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := spec.PointIdentity(req.Point)
 	rkey := id.ReplicaKey(req.Rep)
 
+	// Trace context rides in on the request headers. The spans of this job
+	// are collected request-scoped, attached to the response for the
+	// coordinator to merge, and copied into this worker's own journal.
+	// Tracing never touches the job's semantics: an untraced request takes
+	// exactly the same path with every span call a no-op.
+	traceID, parentSpan := trace.Extract(r.Header)
+	var buf *trace.Buffer
+	tc := trace.SpanContext{}
+	if traceID != "" && s.journal != nil {
+		buf = trace.NewBuffer()
+		tc = trace.SpanContext{J: buf, Trace: traceID, Parent: parentSpan, Study: traceID, Node: s.node}
+	}
+	jsp := tc.Start("job")
+	jsp.SetJob(req.Point.String(), req.Rep)
+	jtc := jsp.SpanContext()
+	flushTrace := func() {
+		for _, sp := range buf.Spans() {
+			s.journal.Record(sp)
+		}
+	}
+	respond := func(p experiment.Point, source string) {
+		jsp.Attr("source", source)
+		jsp.End()
+		spans := buf.Spans()
+		flushTrace()
+		s.jobsServed.Add(1)
+		writeJSON(w, http.StatusOK, cluster.JobResponse{Point: p, Source: source, Spans: spans})
+	}
+
 	// The lease is enforced server-side too: a worker partitioned from its
 	// coordinator must abort the job when the lease expires, not hold the
 	// simulation (and the point's side effects) forever.
-	ctx := r.Context()
+	ctx := trace.NewContext(r.Context(), jtc)
 	if req.LeaseMS > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.LeaseMS)*time.Millisecond)
@@ -112,46 +142,62 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// 1. Local replica envelope.
-	if b, ok, err := s.cache.Get(rkey); err == nil && ok {
+	gsp := jtc.Start("cache-check")
+	getStart := time.Now()
+	b, ok, gerr := s.cache.Get(rkey)
+	s.hCacheGet.Observe(time.Since(getStart))
+	gsp.End()
+	if gerr == nil && ok {
 		if p, valid := experiment.DecodeCachedReplica(b, id, req.Rep); valid {
-			s.jobsServed.Add(1)
-			writeJSON(w, http.StatusOK, cluster.JobResponse{Point: p, Source: cluster.SourceCache})
+			respond(p, cluster.SourceCache)
 			return
 		}
 		s.counters.CacheCorrupt.Add(1)
 		if err := s.cache.Quarantine(rkey); err != nil {
+			flushTrace()
 			writeError(w, http.StatusInternalServerError, fmt.Errorf("quarantining %s: %w", rkey, err))
 			return
 		}
-		s.logf("job %s rep %d: corrupt replica envelope %s quarantined", req.Point, req.Rep, rkey)
+		s.log.Warn("corrupt replica envelope quarantined",
+			"job", req.Point.String(), "rep", req.Rep, "key", rkey)
 	}
 
 	// 2. Peer cache fill. An unreachable or corrupt peer is a miss, never
 	// a failed job.
-	for _, peer := range req.Peers {
-		pctx, cancel := context.WithTimeout(ctx, peerFillTimeout)
-		b, err := cluster.FetchCAS(pctx, s.peerClient(), peer, rkey)
-		cancel()
-		if err != nil || b == nil {
-			continue
+	if len(req.Peers) > 0 {
+		psp := jtc.Start("peer-cache-check")
+		psp.SetJob(req.Point.String(), req.Rep)
+		for _, peer := range req.Peers {
+			pctx, cancel := context.WithTimeout(ctx, peerFillTimeout)
+			b, err := cluster.FetchCAS(pctx, s.peerClient(), peer, rkey)
+			cancel()
+			if err != nil || b == nil {
+				continue
+			}
+			p, valid := experiment.DecodeCachedReplica(b, id, req.Rep)
+			if !valid {
+				continue
+			}
+			if err := s.cache.Put(rkey, b); err != nil {
+				s.log.Warn("storing peer fill failed",
+					"job", req.Point.String(), "rep", req.Rep, "peer", peer, "err", err)
+			}
+			s.counters.PeerCacheFills.Add(1)
+			psp.Attr("peer", peer)
+			psp.End()
+			respond(p, cluster.SourcePeer)
+			return
 		}
-		p, valid := experiment.DecodeCachedReplica(b, id, req.Rep)
-		if !valid {
-			continue
-		}
-		if err := s.cache.Put(rkey, b); err != nil {
-			s.logf("job %s rep %d: storing peer fill: %v", req.Point, req.Rep, err)
-		}
-		s.counters.PeerCacheFills.Add(1)
-		s.jobsServed.Add(1)
-		writeJSON(w, http.StatusOK, cluster.JobResponse{Point: p, Source: cluster.SourcePeer})
-		return
+		psp.End()
 	}
 
 	// 3. Simulate — behind the job-slot semaphore, so a busy worker's
 	// surplus jobs queue here. A queued job is exactly the work stealing
 	// targets: it has not started, so shedding it back to the coordinator
 	// (503 + shed header) re-dispatches it with nothing lost or duplicated.
+	qsp := jtc.Start("queue-wait")
+	qsp.SetJob(req.Point.String(), req.Rep)
+	queueStart := time.Now()
 	s.queued.Add(1)
 	select {
 	case s.jobSlots <- struct{}{}:
@@ -159,15 +205,24 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	case <-s.shedCh:
 		s.queued.Add(-1)
 		s.jobsShed.Add(1)
+		qsp.Attr("outcome", "shed")
+		qsp.End()
+		jtc.Event("shed", "job", req.Point.String())
+		flushTrace()
 		w.Header().Set(cluster.ShedHeader, "1")
 		writeError(w, http.StatusServiceUnavailable,
 			fmt.Errorf("job %s rep %d shed for rebalancing", req.Point, req.Rep))
 		return
 	case <-ctx.Done():
 		s.queued.Add(-1)
+		qsp.Attr("outcome", "lease-expired")
+		qsp.End()
+		flushTrace()
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("lease expired in queue: %w", ctx.Err()))
 		return
 	}
+	s.hQueueWait.Observe(time.Since(queueStart))
+	qsp.End()
 	defer func() { <-s.jobSlots }()
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
@@ -184,6 +239,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	p, err := experiment.RunReplicaJob(ctx, spec, req.Point, req.Rep, s.pointPar, &s.counters, onSlot)
 	if err == nil {
 		s.observeSimRate(int64(spec.Slots+spec.Warmup), time.Since(simStart))
+		s.hJobExec.Observe(time.Since(simStart))
 	}
 	if crash != nil {
 		select {
@@ -193,6 +249,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err != nil {
+		flushTrace()
 		if experiment.IsCancellation(err) {
 			// Lease expired (or the coordinator hung up): the job is the
 			// coordinator's to re-dispatch.
@@ -202,13 +259,19 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	if err := s.cache.Put(rkey, experiment.EncodeCachedReplica(id, req.Rep, p)); err != nil {
+	ssp := jtc.Start("cas-store")
+	ssp.SetJob(req.Point.String(), req.Rep)
+	putStart := time.Now()
+	perr := s.cache.Put(rkey, experiment.EncodeCachedReplica(id, req.Rep, p))
+	s.hCachePut.Observe(time.Since(putStart))
+	ssp.End()
+	if perr != nil {
 		// The result is good even if persisting it is not; the coordinator
 		// gets its point and only a future re-dispatch pays again.
-		s.logf("job %s rep %d: storing replica envelope: %v", req.Point, req.Rep, err)
+		s.log.Warn("storing replica envelope failed",
+			"job", req.Point.String(), "rep", req.Rep, "key", rkey, "err", perr)
 	}
-	s.jobsServed.Add(1)
-	writeJSON(w, http.StatusOK, cluster.JobResponse{Point: p, Source: cluster.SourceComputed})
+	respond(p, cluster.SourceComputed)
 }
 
 // peerClient is the HTTP client for worker→peer CAS reads.

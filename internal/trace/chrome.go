@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry in the Chrome trace-event JSON format
+// (loadable in Perfetto / chrome://tracing). Timestamps and durations
+// are microseconds; ph "X" is a complete duration event, "i" an
+// instant, "M" process/thread metadata.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders spans as a Chrome trace-event JSON document.
+// Each node becomes a process (named via metadata events) and each
+// distinct job within a node becomes a thread, so concurrent jobs land
+// on separate tracks instead of nesting falsely. Timestamps are
+// rebased to the earliest span so the trace opens at t=0.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	nodes := map[string]int{}
+	jobTids := map[string]int{}
+	var nodeNames []string
+	for _, sp := range spans {
+		node := sp.Node
+		if node == "" {
+			node = "unknown"
+		}
+		if _, ok := nodes[node]; !ok {
+			nodes[node] = 0
+			nodeNames = append(nodeNames, node)
+		}
+	}
+	sort.Strings(nodeNames)
+	for i, n := range nodeNames {
+		nodes[n] = i + 1
+	}
+	var base int64
+	for i, sp := range spans {
+		if i == 0 || sp.Start < base {
+			base = sp.Start
+		}
+	}
+
+	events := make([]chromeEvent, 0, len(spans)+len(nodeNames))
+	for _, n := range nodeNames {
+		events = append(events, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  nodes[n],
+			Args: map[string]string{"name": n},
+		})
+	}
+	tid := func(node, job string) int {
+		if job == "" {
+			return 0
+		}
+		k := node + "\x00" + job
+		t, ok := jobTids[k]
+		if !ok {
+			t = len(jobTids) + 1
+			jobTids[k] = t
+		}
+		return t
+	}
+	for _, sp := range spans {
+		node := sp.Node
+		if node == "" {
+			node = "unknown"
+		}
+		ev := chromeEvent{
+			Name: sp.Name,
+			Cat:  "sprinklerd",
+			Ts:   float64(sp.Start-base) / 1e3,
+			Pid:  nodes[node],
+			Tid:  tid(node, sp.Job),
+			Args: map[string]string{},
+		}
+		if sp.Job != "" {
+			ev.Args["job"] = sp.Job
+			ev.Args["rep"] = fmt.Sprint(sp.Rep)
+		}
+		if sp.Study != "" {
+			ev.Args["study"] = sp.Study
+		}
+		ev.Args["span"] = sp.ID
+		if sp.Parent != "" {
+			ev.Args["parent"] = sp.Parent
+		}
+		for k, v := range sp.Attrs {
+			ev.Args[k] = v
+		}
+		if sp.Event {
+			ev.Ph = "i"
+			ev.S = "t"
+		} else {
+			ev.Ph = "X"
+			ev.Dur = float64(sp.Dur) / 1e3
+		}
+		events = append(events, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+}

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+)
+
+// LogfLogger adapts a printf-style sink to *slog.Logger so packages
+// migrated to structured logging keep working for callers (mostly
+// tests) that still supply a Logf function. Attributes render as
+// trailing key=value pairs; levels below Info are dropped, matching
+// what a printf logger would have shown.
+func LogfLogger(logf func(string, ...any)) *slog.Logger {
+	return slog.New(&logfHandler{logf: logf})
+}
+
+type logfHandler struct {
+	logf  func(string, ...any)
+	attrs []slog.Attr
+}
+
+func (h *logfHandler) Enabled(_ context.Context, l slog.Level) bool {
+	return l >= slog.LevelInfo
+}
+
+func (h *logfHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	if r.Level >= slog.LevelWarn {
+		b.WriteString(r.Level.String())
+		b.WriteString(" ")
+	}
+	b.WriteString(r.Message)
+	for _, a := range h.attrs {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+		return true
+	})
+	h.logf("%s", b.String())
+	return nil
+}
+
+func (h *logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	merged := make([]slog.Attr, 0, len(h.attrs)+len(attrs))
+	merged = append(merged, h.attrs...)
+	merged = append(merged, attrs...)
+	return &logfHandler{logf: h.logf, attrs: merged}
+}
+
+func (h *logfHandler) WithGroup(string) slog.Handler { return h }
